@@ -1,0 +1,23 @@
+// Figure 7 (reconstructed): runtime scaling with design size for both
+// flows (replicated-ALU designs with 40% glue).
+#include "common.hpp"
+
+int main() {
+  using namespace dp;
+  bench::quiet_logs();
+  util::Table table({"#cells", "base time [s]", "SA time [s]", "SA/base",
+                     "base HPWL", "SA HPWL"});
+  for (const std::size_t target : {1000u, 2000u, 4000u, 8000u}) {
+    const auto b = dpgen::make_scaled(target);
+    const auto rb = bench::run_flow(b, bench::Flow::kBaseline);
+    const auto rs = bench::run_flow(b, bench::Flow::kGentle);
+    table.add_row({util::Table::integer((long long)b.netlist.num_movable()),
+                   util::Table::num(rb.seconds, 2),
+                   util::Table::num(rs.seconds, 2),
+                   util::Table::num(rs.seconds / rb.seconds, 2),
+                   util::Table::num(rb.report.hpwl_final, 0),
+                   util::Table::num(rs.report.hpwl_final, 0)});
+  }
+  std::printf("Figure 7: runtime scaling\n%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Micro-benchmarks (google-benchmark): per-evaluation cost of the placer
+// kernels on dp_alu32-sized data.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "extract/extractor.hpp"
+#include "gp/density.hpp"
+#include "gp/wirelength.hpp"
+
+namespace {
+
+const dp::dpgen::Benchmark& bench_data() {
+  static const dp::dpgen::Benchmark b = [] {
+    dp::bench::quiet_logs();
+    return dp::dpgen::make_benchmark("dp_alu32");
+  }();
+  return b;
+}
+
+void BM_Hpwl(benchmark::State& state) {
+  const auto& b = bench_data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::eval::hpwl(b.netlist, b.placement));
+  }
+}
+BENCHMARK(BM_Hpwl);
+
+void BM_WirelengthGradient(benchmark::State& state) {
+  const auto& b = bench_data();
+  const dp::gp::VarMap vars(b.netlist);
+  dp::gp::SmoothWirelength wl(
+      b.netlist,
+      state.range(0) == 0 ? dp::gp::WirelengthModel::kLse
+                          : dp::gp::WirelengthModel::kWa,
+      1.0);
+  std::vector<double> gx(vars.num_vars()), gy(vars.num_vars());
+  auto pl = b.placement;
+  for (auto _ : state) {
+    std::fill(gx.begin(), gx.end(), 0.0);
+    std::fill(gy.begin(), gy.end(), 0.0);
+    benchmark::DoNotOptimize(wl.eval(pl, vars, gx, gy));
+  }
+}
+BENCHMARK(BM_WirelengthGradient)->Arg(0)->Arg(1);
+
+void BM_DensityGradient(benchmark::State& state) {
+  const auto& b = bench_data();
+  const dp::gp::VarMap vars(b.netlist);
+  dp::gp::DensityPenalty den(b.netlist, b.design);
+  std::vector<double> gx(vars.num_vars()), gy(vars.num_vars());
+  auto pl = b.placement;
+  for (auto _ : state) {
+    std::fill(gx.begin(), gx.end(), 0.0);
+    std::fill(gy.begin(), gy.end(), 0.0);
+    benchmark::DoNotOptimize(den.eval(pl, vars, gx, gy));
+  }
+}
+BENCHMARK(BM_DensityGradient);
+
+void BM_Extraction(benchmark::State& state) {
+  const auto& b = bench_data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::extract::extract_structures(b.netlist));
+  }
+}
+BENCHMARK(BM_Extraction);
+
+void BM_Signatures(benchmark::State& state) {
+  const auto& b = bench_data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::extract::cell_signatures(b.netlist));
+  }
+}
+BENCHMARK(BM_Signatures);
+
+}  // namespace
+
+BENCHMARK_MAIN();

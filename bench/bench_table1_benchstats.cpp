@@ -1,0 +1,24 @@
+// Table 1 (reconstructed): benchmark statistics.
+#include "common.hpp"
+#include "netlist/stats.hpp"
+
+int main() {
+  using namespace dp;
+  bench::quiet_logs();
+  util::Table table({"design", "#cells", "#movable", "#nets", "#pins",
+                     "avg deg", "#groups", "dp cells", "dp frac"});
+  for (const auto& name : dpgen::standard_benchmarks()) {
+    const auto b = dpgen::make_benchmark(name);
+    const auto s = netlist::compute_stats(b.netlist, &b.truth);
+    table.add_row({name, util::Table::integer((long long)s.num_cells),
+                   util::Table::integer((long long)s.num_movable),
+                   util::Table::integer((long long)s.num_nets),
+                   util::Table::integer((long long)s.num_pins),
+                   util::Table::num(s.avg_net_degree, 2),
+                   util::Table::integer((long long)s.num_groups),
+                   util::Table::integer((long long)s.datapath_cells),
+                   util::Table::pct(s.datapath_fraction)});
+  }
+  std::printf("Table 1: benchmark statistics\n%s", table.to_string().c_str());
+  return 0;
+}

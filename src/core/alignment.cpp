@@ -1,0 +1,216 @@
+#include "core/alignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dp::core {
+
+using netlist::CellId;
+using netlist::kInvalidId;
+using netlist::StructureGroup;
+
+AlignmentPenalty::AlignmentPenalty(const netlist::Netlist& nl,
+                                   const netlist::StructureAnnotation& groups,
+                                   const netlist::Design& design)
+    : nl_(&nl), groups_(&groups), design_(&design) {
+  orientation_.assign(groups.groups.size(), GroupOrientation::kBitsAlongY);
+  stage_pitch_.assign(groups.groups.size(), design.row_height());
+  for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+    double total_w = 0.0;
+    std::size_t n = 0;
+    for (CellId c : groups.groups[g].cells) {
+      if (c == kInvalidId) continue;
+      total_w += nl.cell_width(c);
+      ++n;
+    }
+    if (n > 0) stage_pitch_[g] = total_w / static_cast<double>(n);
+  }
+  // Default orientation is the pipeline-wide convention: bits are rows.
+  // orient_by_shape()/orient_by_placement() remain available as ablations.
+}
+
+void AlignmentPenalty::orient_by_shape() {
+  for (std::size_t g = 0; g < groups_->groups.size(); ++g) {
+    const auto& grp = groups_->groups[g];
+    orientation_[g] = grp.bits >= grp.stages
+                          ? GroupOrientation::kBitsAlongY
+                          : GroupOrientation::kBitsAlongX;
+  }
+}
+
+namespace {
+
+/// Misalignment proxy: summed variance of slice-share coordinates plus
+/// stage-share coordinates for a candidate orientation.
+double orientation_cost(const StructureGroup& g,
+                        const netlist::Placement& pl, bool bits_along_y) {
+  double cost = 0.0;
+  auto spread = [&](const std::vector<CellId>& cells, bool use_y) {
+    if (cells.size() < 2) return 0.0;
+    double mean = 0.0;
+    for (CellId c : cells) mean += use_y ? pl[c].y : pl[c].x;
+    mean /= static_cast<double>(cells.size());
+    double acc = 0.0;
+    for (CellId c : cells) {
+      const double d = (use_y ? pl[c].y : pl[c].x) - mean;
+      acc += d * d;
+    }
+    return acc;
+  };
+  for (std::size_t b = 0; b < g.bits; ++b) {
+    cost += spread(g.slice(b), bits_along_y);
+  }
+  for (std::size_t s = 0; s < g.stages; ++s) {
+    cost += spread(g.stage(s), !bits_along_y);
+  }
+  return cost;
+}
+
+}  // namespace
+
+void AlignmentPenalty::orient_by_placement(const netlist::Placement& pl) {
+  for (std::size_t g = 0; g < groups_->groups.size(); ++g) {
+    const auto& grp = groups_->groups[g];
+    const double cy = orientation_cost(grp, pl, /*bits_along_y=*/true);
+    const double cx = orientation_cost(grp, pl, /*bits_along_y=*/false);
+    orientation_[g] = cy <= cx ? GroupOrientation::kBitsAlongY
+                               : GroupOrientation::kBitsAlongX;
+  }
+}
+
+double AlignmentPenalty::eval(const netlist::Placement& pl,
+                              const gp::VarMap& vars, std::span<double> gx,
+                              std::span<double> gy) const {
+  double value = 0.0;
+
+  for (std::size_t gi = 0; gi < groups_->groups.size(); ++gi) {
+    const StructureGroup& g = groups_->groups[gi];
+    const bool bits_y = orientation_[gi] == GroupOrientation::kBitsAlongY;
+
+    // Lines: bit slices share one coordinate, stages share the other.
+    // For bits-along-y: slice coordinate = y, stage coordinate = x.
+    // The quadratic pull toward the mean has gradient 2*(c - mean).
+    auto align_line = [&](const std::vector<CellId>& cells, bool use_y) {
+      if (cells.size() < 2) return 0.0;
+      double mean = 0.0;
+      std::size_t n = 0;
+      for (CellId c : cells) {
+        if (!vars.is_movable(c)) continue;
+        mean += use_y ? pl[c].y : pl[c].x;
+        ++n;
+      }
+      if (n < 2) return 0.0;
+      mean /= static_cast<double>(n);
+      double local = 0.0;
+      for (CellId c : cells) {
+        const auto v = vars.var(c);
+        if (v == kInvalidId) continue;
+        const double d = (use_y ? pl[c].y : pl[c].x) - mean;
+        local += d * d;
+        if (use_y) {
+          gy[v] += 2.0 * d;
+        } else {
+          gx[v] += 2.0 * d;
+        }
+      }
+      return local;
+    };
+
+    std::vector<double> slice_mean(g.bits, 0.0);
+    std::vector<std::size_t> slice_n(g.bits, 0);
+    for (std::size_t b = 0; b < g.bits; ++b) {
+      const auto cells = g.slice(b);
+      value += align_line(cells, bits_y);
+      for (CellId c : cells) {
+        if (!vars.is_movable(c)) continue;
+        slice_mean[b] += bits_y ? pl[c].y : pl[c].x;
+        ++slice_n[b];
+      }
+      if (slice_n[b] > 0) {
+        slice_mean[b] /= static_cast<double>(slice_n[b]);
+      }
+    }
+
+    std::vector<double> stage_mean(g.stages, 0.0);
+    std::vector<std::size_t> stage_n(g.stages, 0);
+    for (std::size_t s = 0; s < g.stages; ++s) {
+      const auto cells = g.stage(s);
+      value += align_line(cells, !bits_y);
+      for (CellId c : cells) {
+        if (!vars.is_movable(c)) continue;
+        stage_mean[s] += bits_y ? pl[c].x : pl[c].y;
+        ++stage_n[s];
+      }
+      if (stage_n[s] > 0) {
+        stage_mean[s] /= static_cast<double>(stage_n[s]);
+      }
+    }
+
+    // Ordered ladder springs: consecutive slice (stage) centerlines at
+    // exactly one *signed* pitch in index order. Unlike a symmetric
+    // keep-apart spring, the signed form actively sorts lanes into their
+    // extracted bit order (and stages left to right) -- once plates turn
+    // rigid, gradient descent could never permute scrambled lanes, so the
+    // order must be imposed while the placement is still fluid. The
+    // direction (+/-) is re-estimated per group from the current span so
+    // an array that settled upside down is not forced to flip.
+    auto pitch_spring = [&](const std::vector<double>& means,
+                            const std::vector<std::size_t>& counts,
+                            double pitch, bool on_y,
+                            auto member_range) {
+      // Direction: sign of the overall span across occupied lanes.
+      double first = 0.0, last = 0.0;
+      bool have_first = false;
+      for (std::size_t i = 0; i < means.size(); ++i) {
+        if (counts[i] == 0) continue;
+        if (!have_first) {
+          first = means[i];
+          have_first = true;
+        }
+        last = means[i];
+      }
+      const double dir = last >= first ? 1.0 : -1.0;
+
+      double local = 0.0;
+      for (std::size_t i = 0; i + 1 < means.size(); ++i) {
+        if (counts[i] == 0 || counts[i + 1] == 0) continue;
+        // v = signed violation of (mean[i+1] - mean[i]) == dir * pitch.
+        const double v = means[i + 1] - means[i] - dir * pitch;
+        local += v * v;
+        const double gi_lo = -2.0 * v / static_cast<double>(counts[i]);
+        const double gi_hi = 2.0 * v / static_cast<double>(counts[i + 1]);
+        for (CellId c : member_range(i)) {
+          const auto vv = vars.var(c);
+          if (vv == kInvalidId) continue;
+          if (on_y) {
+            gy[vv] += gi_lo;
+          } else {
+            gx[vv] += gi_lo;
+          }
+        }
+        for (CellId c : member_range(i + 1)) {
+          const auto vv = vars.var(c);
+          if (vv == kInvalidId) continue;
+          if (on_y) {
+            gy[vv] += gi_hi;
+          } else {
+            gx[vv] += gi_hi;
+          }
+        }
+      }
+      return local;
+    };
+
+    const double bit_pitch = design_->row_height();
+    value += pitch_spring(
+        slice_mean, slice_n, bit_pitch, bits_y,
+        [&](std::size_t b) { return g.slice(b); });
+    value += pitch_spring(
+        stage_mean, stage_n, stage_pitch_[gi], !bits_y,
+        [&](std::size_t s) { return g.stage(s); });
+  }
+
+  return value;
+}
+
+}  // namespace dp::core

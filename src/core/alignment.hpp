@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "gp/vars.hpp"
+#include "netlist/design.hpp"
+#include "netlist/structure.hpp"
+
+namespace dp::core {
+
+/// Layout orientation of a datapath group.
+enum class GroupOrientation {
+  kBitsAlongY,  ///< bit slices are horizontal rows, stages are columns
+  kBitsAlongX,  ///< transposed
+};
+
+/// The paper's structure-aware objective term: quadratic penalties that
+/// pull every bit slice onto a common row, every stage onto a common
+/// column, and keep consecutive slice/stage centerlines at least one
+/// pitch apart (so the array cannot collapse onto a single line).
+///
+/// All sub-terms are quadratic in the coordinates, so gradients are exact
+/// and cheap; the term plugs into the analytical global placer as an
+/// ExtraTerm whose weight is scheduled against the density penalty.
+class AlignmentPenalty final : public gp::ObjectiveTerm {
+ public:
+  AlignmentPenalty(const netlist::Netlist& nl,
+                   const netlist::StructureAnnotation& groups,
+                   const netlist::Design& design);
+
+  /// Choose each group's orientation by its shape: wide arrays (bits >=
+  /// stages) lay bits along y. Called at construction; exposed for tests.
+  void orient_by_shape();
+
+  /// Re-choose each group's orientation to whichever fits the current
+  /// placement better (less misalignment). Called when the term activates
+  /// mid-placement.
+  void orient_by_placement(const netlist::Placement& pl);
+
+  GroupOrientation orientation(std::size_t group) const {
+    return orientation_[group];
+  }
+  std::size_t num_groups() const { return groups_->groups.size(); }
+
+  double eval(const netlist::Placement& pl, const gp::VarMap& vars,
+              std::span<double> gx, std::span<double> gy) const override;
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::StructureAnnotation* groups_;
+  const netlist::Design* design_;
+  std::vector<GroupOrientation> orientation_;
+  /// Per group: mean movable-cell width (stage pitch reference).
+  std::vector<double> stage_pitch_;
+};
+
+}  // namespace dp::core

@@ -1,0 +1,89 @@
+#include "core/overlap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dp::core {
+
+using netlist::CellId;
+using netlist::kInvalidId;
+
+PlateOverlapPenalty::PlateOverlapPenalty(
+    const netlist::Netlist& nl, const netlist::StructureAnnotation& groups,
+    const netlist::Design& design)
+    : nl_(&nl), groups_(&groups) {
+  width_.reserve(groups.groups.size());
+  height_.reserve(groups.groups.size());
+  for (const auto& g : groups.groups) {
+    double w = 0.0;
+    for (std::size_t s = 0; s < g.stages; ++s) {
+      double col = 0.0;
+      for (std::size_t b = 0; b < g.bits; ++b) {
+        const CellId c = g.at(b, s);
+        if (c != kInvalidId) col = std::max(col, nl.cell_width(c));
+      }
+      w += col;
+    }
+    width_.push_back(w);
+    height_.push_back(static_cast<double>(g.bits) * design.row_height());
+  }
+}
+
+double PlateOverlapPenalty::eval(const netlist::Placement& pl,
+                                 const gp::VarMap& vars, std::span<double> gx,
+                                 std::span<double> gy) const {
+  const std::size_t ng = groups_->groups.size();
+  std::vector<double> cx(ng, 0.0), cy(ng, 0.0);
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> members(ng);
+  // members[g] caches (var, 1/n) pairs so gradients on group means can be
+  // distributed; duplicate vars (rigid bodies) accumulate naturally.
+  for (std::size_t g = 0; g < ng; ++g) {
+    std::size_t n = 0;
+    for (CellId c : groups_->groups[g].cells) {
+      if (c == kInvalidId || !vars.is_movable(c)) continue;
+      cx[g] += pl[c].x;
+      cy[g] += pl[c].y;
+      ++n;
+    }
+    if (n == 0) continue;
+    cx[g] /= static_cast<double>(n);
+    cy[g] /= static_cast<double>(n);
+    const double inv = 1.0 / static_cast<double>(n);
+    for (CellId c : groups_->groups[g].cells) {
+      if (c == kInvalidId || !vars.is_movable(c)) continue;
+      members[g].emplace_back(vars.var(c), inv);
+    }
+  }
+
+  double value = 0.0;
+  for (std::size_t i = 0; i < ng; ++i) {
+    if (members[i].empty()) continue;
+    for (std::size_t j = i + 1; j < ng; ++j) {
+      if (members[j].empty()) continue;
+      const double dx = cx[i] - cx[j];
+      const double dy = cy[i] - cy[j];
+      const double ox = (width_[i] + width_[j]) / 2.0 - std::abs(dx);
+      const double oy = (height_[i] + height_[j]) / 2.0 - std::abs(dy);
+      if (ox <= 0.0 || oy <= 0.0) continue;
+      const double area = ox * oy;
+      value += area * area;
+      // d f / d cx_i = 2 * area * oy * d ox/d cx_i, with
+      // d ox / d cx_i = -sign(dx); symmetric for j and for y.
+      const double sx = dx >= 0.0 ? 1.0 : -1.0;
+      const double sy = dy >= 0.0 ? 1.0 : -1.0;
+      const double gx_i = -2.0 * area * oy * sx;
+      const double gy_i = -2.0 * area * ox * sy;
+      for (const auto& [var, inv] : members[i]) {
+        gx[var] += gx_i * inv;
+        gy[var] += gy_i * inv;
+      }
+      for (const auto& [var, inv] : members[j]) {
+        gx[var] -= gx_i * inv;
+        gy[var] -= gy_i * inv;
+      }
+    }
+  }
+  return value;
+}
+
+}  // namespace dp::core

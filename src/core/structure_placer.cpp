@@ -1,0 +1,339 @@
+#include "core/structure_placer.hpp"
+
+#include <memory>
+
+#include "core/overlap.hpp"
+#include "core/partition.hpp"
+
+#include "legal/repair.hpp"
+#include "util/logger.hpp"
+#include "util/timer.hpp"
+
+namespace dp::core {
+
+StructurePlacer::StructurePlacer(const netlist::Netlist& nl,
+                                 const netlist::Design& design,
+                                 PlacerConfig config)
+    : nl_(&nl), design_(&design), config_(std::move(config)) {}
+
+PlaceReport StructurePlacer::place(netlist::Placement& pl,
+                                   const netlist::StructureAnnotation* truth) {
+  PlaceReport report;
+  util::Timer total;
+  util::Timer stage;
+
+  // ---- phase 1: datapath structure ---------------------------------------
+  if (config_.structure_aware) {
+    if (config_.use_truth_structure && truth != nullptr) {
+      report.structure = *truth;
+    } else {
+      auto ext = extract::extract_structures(*nl_, config_.extraction);
+      report.structure = std::move(ext.annotation);
+      report.extraction_seeds = ext.seeds_tried;
+      report.extraction_seconds = ext.seconds;
+    }
+    report.structure =
+        partition_groups(*nl_, *design_, report.structure, config_.partition);
+    util::Logger::info("structure: %zu groups, %zu cells",
+                       report.structure.groups.size(),
+                       report.structure.total_cells());
+  }
+  report.t_extract = stage.seconds();
+  stage.restart();
+
+  // ---- phase 2: global placement ------------------------------------------
+  std::unique_ptr<AlignmentPenalty> alignment;
+  std::vector<double> density_scale;
+  const bool structured =
+      config_.structure_aware && !report.structure.groups.empty();
+
+  if (!structured) {
+    gp::GlobalPlacer placer(*nl_, *design_, config_.gp);
+    report.gp_result = placer.place(pl);
+  } else {
+    // Datapath cells are shrunk in the density model (they will legally
+    // pack solid), so settled plates are density-neutral.
+    double dp_scale = config_.datapath_density_scale;
+    if (dp_scale <= 0.0) {
+      dp_scale = nl_->movable_area() / design_->core().area();
+    }
+    density_scale.assign(nl_->num_cells(), 1.0);
+    for (const auto& g : report.structure.groups) {
+      for (netlist::CellId c : g.cells) {
+        if (c != netlist::kInvalidId) density_scale[c] = dp_scale;
+      }
+    }
+
+    // Phase A: plain spreading down to the activation overflow.
+    gp::GpOptions opt_a = config_.gp;
+    opt_a.stop_overflow = std::max(config_.gp.stop_overflow,
+                                   config_.alignment_activation_overflow);
+    gp::GlobalPlacer phase_a(*nl_, *design_, opt_a);
+    phase_a.set_density_area_scale(density_scale);
+    report.gp_result = phase_a.place(pl);
+
+    // Phase B: alignment on from the start, weight normalized against the
+    // wirelength force and doubled each outer iteration so the plates
+    // converge to tight ordered arrays instead of stalling at a force
+    // equilibrium.
+    alignment = std::make_unique<AlignmentPenalty>(*nl_, report.structure,
+                                                   *design_);
+    gp::GpOptions opt_b = config_.gp;
+    opt_b.run_quadratic_init = false;
+    opt_b.max_outer = config_.align_outer;
+    opt_b.plateau_stall = 0;
+    opt_b.gamma_init_bins = 3.0;
+    gp::GlobalPlacer phase_b(*nl_, *design_, opt_b);
+    phase_b.set_density_area_scale(density_scale);
+
+    // Both structure terms use the same schedule: normalized against the
+    // wirelength force on first evaluation, then doubled per outer.
+    auto make_schedule = [&pl](gp::GlobalPlacer& owner,
+                               const gp::ObjectiveTerm& term, double w) {
+      struct ScheduleState {
+        bool normalized = false;
+        double base = 0.0;
+      };
+      auto state = std::make_shared<ScheduleState>();
+      auto* owner_ptr = &owner;
+      auto* term_ptr = &term;
+      auto* pl_ptr = &pl;
+      return [state, owner_ptr, term_ptr, pl_ptr,
+              w](const gp::TermContext& ctx) {
+        if (!state->normalized) {
+          const auto [wl_norm, term_norm] =
+              owner_ptr->probe_norms(*term_ptr, *pl_ptr);
+          state->base = term_norm > 0.0 ? w * wl_norm / term_norm : w;
+          state->normalized = true;
+        }
+        const double ramp = std::min<double>(
+            4096.0, std::pow(2.0, static_cast<double>(ctx.outer)));
+        return state->base * ramp;
+      };
+    };
+
+    PlateOverlapPenalty plate_overlap(*nl_, report.structure, *design_);
+    phase_b.add_term({alignment.get(),
+                      make_schedule(phase_b, *alignment,
+                                    config_.alignment_weight)});
+    phase_b.add_term({&plate_overlap,
+                      make_schedule(phase_b, plate_overlap,
+                                    config_.alignment_weight)});
+    gp::GpResult res_b = phase_b.place(pl);
+
+    const std::size_t offset = report.gp_result.trace.size();
+    for (auto point : res_b.trace) {
+      point.outer += offset;
+      report.gp_result.trace.push_back(point);
+    }
+    report.gp_result.final_hpwl = res_b.final_hpwl;
+    report.gp_result.final_overflow = res_b.final_overflow;
+    report.gp_result.total_cg_iterations += res_b.total_cg_iterations;
+    report.gp_result.total_evaluations += res_b.total_evaluations;
+  }
+  report.hpwl_gp = report.gp_result.final_hpwl;
+  if (util::Logger::level() <= util::LogLevel::kDebug) {
+    for (const auto& g : report.structure.groups) {
+      geom::Rect box;
+      for (netlist::CellId c : g.cells) {
+        if (c != netlist::kInvalidId) box.expand(pl[c]);
+      }
+      util::Logger::debug("post-GP %s: %.1fx%.1f at (%.1f, %.1f)",
+                          g.name.c_str(), box.width(), box.height(),
+                          box.center().x, box.center().y);
+    }
+  }
+  if (!report.structure.groups.empty()) {
+    report.datapath_hpwl_gp = eval::datapath_hpwl(*nl_, pl, report.structure);
+    report.alignment_gp =
+        eval::alignment_score(*nl_, pl, report.structure).rms_misalignment;
+  }
+  report.t_gp = stage.seconds();
+  stage.restart();
+
+  // ---- phase 3: legalization ------------------------------------------------
+  if (config_.structure_aware && alignment != nullptr &&
+      config_.legalization == LegalizationMode::kGentle) {
+    legal::AbacusLegalizer legalizer(*nl_, *design_);
+    legalizer.run_all(pl);
+    report.hpwl_first_legal = eval::hpwl(*nl_, pl);
+  } else if (config_.structure_aware && alignment != nullptr) {
+    std::vector<bool> along_y(report.structure.groups.size());
+    for (std::size_t g = 0; g < along_y.size(); ++g) {
+      along_y[g] =
+          alignment->orientation(g) == GroupOrientation::kBitsAlongY;
+    }
+    legal::StructureLegalizer legalizer(*nl_, *design_, report.structure,
+                                        along_y);
+    // Between plate commitment and glue legalization, re-place the glue
+    // with a dedicated global placement around the frozen plates: the
+    // plates become exact density obstacles and wirelength anchors, so
+    // the glue no longer needs to be evicted from plate footprints by the
+    // legalizer.
+    auto glue_gp = [this, &report](netlist::Placement& pl2,
+                                   const std::vector<bool>& frozen) {
+      std::vector<bool> mask(nl_->num_cells(), false);
+      std::size_t n = 0;
+      for (netlist::CellId c = 0; c < nl_->num_cells(); ++c) {
+        if (!nl_->cell(c).fixed && !frozen[c]) {
+          mask[c] = true;
+          ++n;
+        }
+      }
+      if (n == 0) return;
+      gp::GpOptions opt = config_.gp;
+      // Fresh quadratic start: the glue arrives scrambled by the alignment
+      // phase; re-anchoring it to the frozen plates and pads lets the
+      // nonlinear solve find a clean arrangement.
+      opt.run_quadratic_init = true;
+      opt.max_outer = config_.gp.max_outer;
+      // The glue starts piled against its anchors; overflow improves only
+      // after lambda has ramped for a while, so the plateau stop must be
+      // off or it fires immediately.
+      opt.plateau_stall = 0;
+      // One-sided density: let the glue cluster at its wirelength optimum
+      // in the channels between plates instead of being spread uniformly
+      // over every pocket of free space.
+      opt.one_sided_max_density = 0.8;
+      const double before = eval::hpwl(*nl_, pl2);
+      gp::GlobalPlacer glue_placer(*nl_, *design_, opt,
+                                   gp::VarMap(*nl_, mask));
+      const auto res = glue_placer.place(pl2);
+      util::Logger::debug(
+          "glue gp: %zu cells, hpwl %.1f -> %.1f (%zu outers, overflow %.3f)",
+          n, before, res.final_hpwl, res.trace.size(), res.final_overflow);
+      (void)report;
+    };
+    auto stats = legalizer.run(pl, glue_gp);
+    if (stats.groups_fallback > 0) {
+      util::Logger::warn("structure legalization: %zu groups fell back",
+                         stats.groups_fallback);
+    }
+    report.hpwl_first_legal = eval::hpwl(*nl_, pl);
+    report.legal_blocks = stats.groups_placed_as_blocks;
+    report.legal_fallback = stats.groups_fallback;
+    if (util::Logger::level() <= util::LogLevel::kDebug) {
+      util::Logger::debug("legal1: hpwl=%.1f slice_disp=%.2f rest_disp=%.2f",
+                          report.hpwl_first_legal,
+                          stats.slices.avg_displacement(),
+                          stats.rest.avg_displacement());
+      for (const auto& g : report.structure.groups) {
+        geom::Rect box;
+        for (netlist::CellId c : g.cells) {
+          if (c != netlist::kInvalidId) box.expand(pl[c]);
+        }
+        util::Logger::debug("post-legal1 %s: %.1fx%.1f at (%.1f, %.1f)",
+                            g.name.c_str(), box.width(), box.height(),
+                            box.center().x, box.center().y);
+      }
+    }
+
+    if (config_.refine) {
+      // ---- phase 3b: rigid-body refinement ---------------------------------
+      // Each legalized plate becomes one variable; a short placement run
+      // re-optimizes plate positions and glue together, then a second
+      // structure legalization snaps the (barely moved) plates back onto
+      // rows. This recovers the wirelength disturbed by plate compaction.
+      std::vector<std::vector<netlist::CellId>> bodies;
+      bodies.reserve(report.structure.groups.size());
+      for (const auto& g : report.structure.groups) {
+        std::vector<netlist::CellId> body;
+        for (netlist::CellId c : g.cells) {
+          if (c != netlist::kInvalidId) body.push_back(c);
+        }
+        bodies.push_back(std::move(body));
+      }
+      gp::GpOptions refine_opt = config_.gp;
+      refine_opt.run_quadratic_init = false;
+      refine_opt.max_outer = config_.refine_outer;
+      refine_opt.gamma_init_bins = 2.0;
+      gp::GlobalPlacer refiner(*nl_, *design_, refine_opt,
+                               gp::VarMap(*nl_, pl, bodies));
+      if (!density_scale.empty()) {
+        refiner.set_density_area_scale(density_scale);
+      }
+      // Keep the rigid plates from re-overlapping while they move.
+      PlateOverlapPenalty refine_overlap(*nl_, report.structure, *design_);
+      struct RefState {
+        bool normalized = false;
+        double base = 0.0;
+      };
+      auto ref_state = std::make_shared<RefState>();
+      auto* refiner_ptr = &refiner;
+      auto* overlap_ptr = &refine_overlap;
+      auto* pl_ptr = &pl;
+      const double w = config_.alignment_weight;
+      refiner.add_term(
+          {overlap_ptr,
+           [ref_state, refiner_ptr, overlap_ptr, pl_ptr,
+            w](const gp::TermContext& ctx) {
+             if (!ref_state->normalized) {
+               const auto [wl_norm, term_norm] =
+                   refiner_ptr->probe_norms(*overlap_ptr, *pl_ptr);
+               ref_state->base =
+                   term_norm > 0.0 ? w * wl_norm / term_norm : w;
+               ref_state->normalized = true;
+             }
+             return ref_state->base *
+                    std::min<double>(
+                        4096.0,
+                        std::pow(2.0, static_cast<double>(ctx.outer)));
+           }});
+      refiner.place(pl);
+
+      legal::StructureLegalizer legalizer2(*nl_, *design_, report.structure,
+                                           along_y);
+      stats = legalizer2.run(pl);
+      if (stats.groups_fallback > 0) {
+        util::Logger::warn("refine legalization: %zu groups fell back",
+                           stats.groups_fallback);
+      }
+    }
+  } else if (config_.baseline_legalizer == BaselineLegalizer::kAbacus) {
+    legal::AbacusLegalizer legalizer(*nl_, *design_);
+    legalizer.run_all(pl);
+  } else {
+    legal::TetrisLegalizer legalizer(*nl_, *design_);
+    legalizer.run_all(pl);
+  }
+  // Legality guarantee: whatever mode ran, overlaps and off-grid cells
+  // are ripped up and re-placed into real free space.
+  legal::repair_legality(*nl_, *design_, pl);
+  if (util::Logger::level() <= util::LogLevel::kDebug) {
+    const auto lr = eval::check_legality(*nl_, *design_, pl);
+    util::Logger::debug("post-repair legality: ov=%zu row=%zu site=%zu out=%zu",
+                        lr.overlaps, lr.off_row, lr.off_site, lr.out_of_core);
+  }
+  report.hpwl_legal = eval::hpwl(*nl_, pl);
+  report.t_legal = stage.seconds();
+  stage.restart();
+
+  // ---- phase 4: detailed placement -----------------------------------------
+  detail::DetailedPlacer detailer(*nl_, *design_);
+  if (config_.structure_aware && alignment != nullptr) {
+    std::vector<bool> along_y(report.structure.groups.size());
+    for (std::size_t g = 0; g < along_y.size(); ++g) {
+      along_y[g] =
+          alignment->orientation(g) == GroupOrientation::kBitsAlongY;
+    }
+    report.detail_stats = detailer.run_structured(pl, report.structure,
+                                                  along_y, config_.detail);
+  } else {
+    report.detail_stats = detailer.run(pl, config_.detail);
+  }
+  report.t_detail = stage.seconds();
+
+  // ---- reporting -------------------------------------------------------------
+  report.hpwl_final = eval::hpwl(*nl_, pl);
+  report.legality = eval::check_legality(*nl_, *design_, pl);
+  const netlist::StructureAnnotation* for_eval =
+      !report.structure.groups.empty() ? &report.structure : truth;
+  if (for_eval != nullptr) {
+    report.datapath_hpwl_final = eval::datapath_hpwl(*nl_, pl, *for_eval);
+    report.alignment = eval::alignment_score(*nl_, pl, *for_eval);
+  }
+  report.t_total = total.seconds();
+  return report;
+}
+
+}  // namespace dp::core

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <optional>
+
+#include "core/alignment.hpp"
+#include "core/partition.hpp"
+#include "detail/detailed_placer.hpp"
+#include "eval/metrics.hpp"
+#include "extract/extractor.hpp"
+#include "extract/metrics.hpp"
+#include "gp/global_placer.hpp"
+#include "legal/abacus.hpp"
+#include "legal/structure_legal.hpp"
+#include "legal/tetris.hpp"
+
+namespace dp::core {
+
+enum class BaselineLegalizer { kAbacus, kTetris };
+
+/// How the structure-aware flow legalizes.
+enum class LegalizationMode {
+  /// Template blocks: every group becomes a perfect rectangular array
+  /// (plate packing + glue placement around frozen plates). Maximum
+  /// regularity; can cost wirelength on designs dominated by long chains.
+  kStructured,
+  /// Gentle: plain Abacus legalization of the alignment-shaped global
+  /// placement. Alignment is preserved approximately (cells move less
+  /// than a row on average), wirelength stays close to the global result.
+  kGentle,
+};
+
+/// Configuration of the full placement pipeline.
+struct PlacerConfig {
+  /// Master switch: false = structure-oblivious baseline flow
+  /// (the NTUplace3-style placer alone), true = the paper's flow.
+  bool structure_aware = true;
+
+  gp::GpOptions gp;
+  extract::ExtractOptions extraction;
+  detail::DetailOptions detail;
+  PartitionOptions partition;
+
+  /// Weight of the alignment penalty once activated. Swept by the
+  /// reconstructed Fig. 5 ablation.
+  double alignment_weight = 0.5;
+  /// Density-model area factor for datapath cells (macro-shrink): a plate
+  /// packs solid, so its cells are shrunk to the core utilization so the
+  /// settled plate is density-neutral. 0 = auto (movable area / core area).
+  double datapath_density_scale = 0.0;
+  /// The alignment term activates once density overflow first drops below
+  /// this threshold (aligning before cells are spread is wasted work):
+  /// phase A of the global placement spreads plainly down to this
+  /// overflow, then phase B runs with the alignment term on.
+  double alignment_activation_overflow = 0.5;
+  /// Outer iterations of the alignment phase (phase B). The alignment
+  /// weight doubles each outer, so this bounds the total ramp.
+  std::size_t align_outer = 12;
+
+  /// Use a provided ground-truth annotation instead of running extraction
+  /// (extraction-oracle ablation).
+  bool use_truth_structure = false;
+
+  /// Legalization style of the structure-aware flow (see LegalizationMode).
+  /// Gentle matches the paper's flow (alignment inside the analytical
+  /// placer, conventional legalization); the template-block mode is this
+  /// library's stricter extension, exercised by the ablation benches.
+  LegalizationMode legalization = LegalizationMode::kGentle;
+
+  /// Rigid-body refinement (ablation): after legalization, rerun a short
+  /// global placement in which every datapath group is one rigid plate
+  /// and glue stays free, then legalize again. The default pipeline
+  /// already re-places glue around frozen plates, which supersedes this.
+  bool refine = false;
+  std::size_t refine_outer = 10;
+
+  /// Legalizer for the baseline flow. Abacus (default) is the stronger
+  /// baseline; Tetris matches what the structure flow uses for glue.
+  BaselineLegalizer baseline_legalizer = BaselineLegalizer::kAbacus;
+};
+
+/// Per-stage runtimes and quality of one placement run.
+struct PlaceReport {
+  // Wirelength after each stage.
+  double hpwl_gp = 0.0;
+  double hpwl_legal = 0.0;
+  double hpwl_final = 0.0;
+  /// HPWL over nets touching (annotated) datapath cells.
+  double datapath_hpwl_gp = 0.0;
+  double datapath_hpwl_final = 0.0;
+  /// Alignment RMS after global placement (before legalization snaps it).
+  double alignment_gp = 0.0;
+
+  // Stage runtimes (seconds).
+  double t_extract = 0.0;
+  double t_gp = 0.0;
+  double t_legal = 0.0;
+  double t_detail = 0.0;
+  double t_total = 0.0;
+
+  gp::GpResult gp_result;
+  detail::DetailStats detail_stats;
+  /// Structure legalization outcome (structure-aware flow only).
+  std::size_t legal_blocks = 0;
+  std::size_t legal_fallback = 0;
+  double hpwl_first_legal = 0.0;  ///< before the rigid-body refinement
+  eval::LegalityReport legality;
+  /// Alignment quality measured against the annotation the placer used.
+  eval::AlignmentScore alignment;
+
+  /// The structure annotation used (extracted, or truth if configured);
+  /// empty in the baseline flow.
+  netlist::StructureAnnotation structure;
+  std::size_t extraction_seeds = 0;
+  double extraction_seconds = 0.0;
+};
+
+/// The complete structure-aware placement pipeline of the paper:
+/// extraction -> alignment-augmented analytical global placement ->
+/// structure-preserving legalization -> structure-aware detailed
+/// placement. With `structure_aware = false` it degrades to the plain
+/// analytical flow used as the baseline in every experiment.
+class StructurePlacer {
+ public:
+  StructurePlacer(const netlist::Netlist& nl, const netlist::Design& design,
+                  PlacerConfig config = {});
+
+  /// Run the pipeline. `pl` must hold fixed-cell positions; movable
+  /// positions are produced. `truth` is consumed only when
+  /// `use_truth_structure` is set (and by reports).
+  PlaceReport place(netlist::Placement& pl,
+                    const netlist::StructureAnnotation* truth = nullptr);
+
+  const PlacerConfig& config() const { return config_; }
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::Design* design_;
+  PlacerConfig config_;
+};
+
+}  // namespace dp::core

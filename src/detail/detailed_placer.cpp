@@ -1,0 +1,354 @@
+#include "detail/detailed_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "eval/metrics.hpp"
+
+namespace dp::detail {
+
+using netlist::CellId;
+using netlist::kInvalidId;
+using netlist::NetId;
+using netlist::PinId;
+
+namespace {
+
+constexpr int kNoUnit = -1;
+
+/// One occupied interval of a row: a single free cell, or a whole datapath
+/// slice treated as an indivisible pseudo-cell.
+struct Entry {
+  double lx = 0.0;
+  double width = 0.0;
+  CellId cell = kInvalidId;  ///< valid iff unit == kNoUnit
+  int unit = kNoUnit;
+
+  double hx() const { return lx + width; }
+};
+
+/// A datapath row unit: member cells moving rigidly together.
+struct Unit {
+  std::vector<CellId> cells;
+  std::size_t row = 0;
+};
+
+/// Engine shared by the plain and structured entry points.
+class Engine {
+ public:
+  Engine(const netlist::Netlist& nl, const netlist::Design& design,
+         netlist::Placement& pl, const std::vector<Unit>& units)
+      : nl_(&nl), design_(&design), pl_(&pl), units_(&units) {
+    build_rows();
+  }
+
+  DetailStats optimize(const DetailOptions& options) {
+    DetailStats stats;
+    stats.hpwl_before = eval::hpwl(*nl_, *pl_);
+    double current = stats.hpwl_before;
+    for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+      ++stats.passes;
+      stats.slides += slide_pass();
+      stats.swaps += swap_pass();
+      stats.slice_slides += unit_slide_pass();
+      const double next = eval::hpwl(*nl_, *pl_);
+      const bool converged =
+          current - next <= options.rel_improvement_floor * current;
+      current = next;
+      if (converged) break;
+    }
+    stats.hpwl_after = current;
+    return stats;
+  }
+
+ private:
+  void build_rows() {
+    rows_.assign(design_->num_rows(), {});
+    std::vector<bool> in_unit(nl_->num_cells(), false);
+    for (std::size_t u = 0; u < units_->size(); ++u) {
+      const Unit& unit = (*units_)[u];
+      if (unit.cells.empty()) continue;
+      double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+      for (CellId c : unit.cells) {
+        in_unit[c] = true;
+        lo = std::min(lo, (*pl_)[c].x - nl_->cell_width(c) / 2.0);
+        hi = std::max(hi, (*pl_)[c].x + nl_->cell_width(c) / 2.0);
+      }
+      const std::size_t r = design_->nearest_row((*pl_)[unit.cells[0]].y);
+      rows_[r].push_back({lo, hi - lo, kInvalidId, static_cast<int>(u)});
+    }
+    for (CellId c = 0; c < nl_->num_cells(); ++c) {
+      if (nl_->cell(c).fixed || in_unit[c]) continue;
+      const double w = nl_->cell_width(c);
+      const std::size_t r = design_->nearest_row((*pl_)[c].y);
+      rows_[r].push_back({(*pl_)[c].x - w / 2.0, w, c, kNoUnit});
+    }
+    for (auto& row : rows_) {
+      std::sort(row.begin(), row.end(),
+                [](const Entry& a, const Entry& b) { return a.lx < b.lx; });
+      // Safety net: entries that overlap a predecessor (possible when the
+      // incoming placement is not perfectly legal) are removed from the
+      // row model -- their cells keep their positions and are never moved,
+      // so the detailer cannot make things worse.
+      std::vector<Entry> clean;
+      clean.reserve(row.size());
+      for (const Entry& e : row) {
+        if (!clean.empty() && clean.back().hx() > e.lx + 1e-9) continue;
+        clean.push_back(e);
+      }
+      row = std::move(clean);
+    }
+  }
+
+  /// Exact HPWL over the union of nets incident to `cells`.
+  double nets_hpwl(const std::vector<CellId>& cells) {
+    scratch_nets_.clear();
+    for (CellId c : cells) {
+      for (PinId p : nl_->cell(c).pins) {
+        scratch_nets_.push_back(nl_->pin(p).net);
+      }
+    }
+    std::sort(scratch_nets_.begin(), scratch_nets_.end());
+    scratch_nets_.erase(
+        std::unique(scratch_nets_.begin(), scratch_nets_.end()),
+        scratch_nets_.end());
+    double total = 0.0;
+    for (NetId n : scratch_nets_) {
+      total += nl_->net(n).weight * eval::net_hpwl(*nl_, n, *pl_);
+    }
+    return total;
+  }
+
+  /// Breakpoint-median optimal x for a rigid set of cells, where cell k
+  /// sits at (X + rel[k]) for block coordinate X. Returns the midpoint of
+  /// the optimal interval, or NaN if the set has no external nets.
+  double optimal_position(const std::vector<CellId>& cells,
+                          const std::vector<double>& rel) {
+    breakpoints_.clear();
+    for (std::size_t k = 0; k < cells.size(); ++k) {
+      for (PinId p : nl_->cell(cells[k]).pins) {
+        const auto& pin = nl_->pin(p);
+        const auto& net_pins = nl_->net(pin.net).pins;
+        if (net_pins.size() < 2) continue;
+        double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+        bool external = false;
+        for (PinId q : net_pins) {
+          const CellId oc = nl_->pin(q).cell;
+          // Skip pins belonging to the moving set.
+          bool moving = false;
+          for (CellId mc : cells) {
+            if (oc == mc) {
+              moving = true;
+              break;
+            }
+          }
+          if (moving) continue;
+          const double x = nl_->pin_position(q, *pl_).x;
+          lo = std::min(lo, x);
+          hi = std::max(hi, x);
+          external = true;
+        }
+        if (!external) continue;
+        const double off = rel[k] + pin.offset_x;
+        breakpoints_.push_back(lo - off);
+        breakpoints_.push_back(hi - off);
+      }
+    }
+    if (breakpoints_.empty()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    std::sort(breakpoints_.begin(), breakpoints_.end());
+    const std::size_t m = breakpoints_.size();
+    return (breakpoints_[(m - 1) / 2] + breakpoints_[m / 2]) / 2.0;
+  }
+
+  /// Try to move the entry at rows_[r][i] so its left edge becomes new_lx;
+  /// keeps order and legality, commits only on HPWL improvement.
+  bool try_shift(std::size_t r, std::size_t i, double new_lx,
+                 std::vector<CellId>& moved_cells,
+                 std::vector<double>& rel) {
+    auto& row = rows_[r];
+    Entry& e = row[i];
+    const double lo_bound = i > 0 ? row[i - 1].hx() : design_->row(r).lx;
+    const double hi_bound =
+        i + 1 < row.size() ? row[i + 1].lx : design_->row(r).hx;
+    new_lx = std::clamp(new_lx, lo_bound, hi_bound - e.width);
+    new_lx = design_->snap_x(new_lx);
+    if (new_lx < lo_bound - 1e-9 || new_lx + e.width > hi_bound + 1e-9) {
+      // Snapping pushed us out of the gap; try the inward site.
+      new_lx = std::clamp(new_lx, lo_bound, hi_bound - e.width);
+      const double site = design_->site_width();
+      new_lx = design_->core().lx +
+               std::ceil((new_lx - design_->core().lx) / site - 1e-9) * site;
+      if (new_lx + e.width > hi_bound + 1e-9) return false;
+    }
+    const double dx = new_lx - e.lx;
+    if (std::abs(dx) < 1e-12) return false;
+
+    const double before = nets_hpwl(moved_cells);
+    for (std::size_t k = 0; k < moved_cells.size(); ++k) {
+      (*pl_)[moved_cells[k]].x += dx;
+      (void)rel;
+    }
+    const double after = nets_hpwl(moved_cells);
+    if (after + 1e-12 < before) {
+      e.lx = new_lx;
+      return true;
+    }
+    for (CellId c : moved_cells) (*pl_)[c].x -= dx;
+    return false;
+  }
+
+  std::size_t slide_pass() {
+    std::size_t moves = 0;
+    std::vector<CellId> one(1);
+    std::vector<double> rel{0.0};
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        Entry& e = rows_[r][i];
+        if (e.unit != kNoUnit) continue;
+        one[0] = e.cell;
+        rel[0] = nl_->cell_width(e.cell) / 2.0;  // center from left edge
+        // optimal_position returns the block coordinate X with the cell
+        // center at X + rel[0]; with rel[0] = w/2, X is the left edge.
+        const double x_opt = optimal_position(one, rel);
+        if (!std::isfinite(x_opt)) continue;
+        if (try_shift(r, i, x_opt, one, rel)) ++moves;
+      }
+    }
+    return moves;
+  }
+
+  std::size_t swap_pass() {
+    std::size_t moves = 0;
+    std::vector<CellId> pair(2);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      auto& row = rows_[r];
+      for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+        Entry& a = row[i];
+        Entry& b = row[i + 1];
+        if (a.unit != kNoUnit || b.unit != kNoUnit) continue;
+        // Swap order, preserving the pair's outer extent and inner gap.
+        const double gap = b.lx - a.hx();
+        const double new_b_lx = a.lx;
+        const double new_a_lx = a.lx + b.width + gap;
+        pair[0] = a.cell;
+        pair[1] = b.cell;
+        const double before = nets_hpwl(pair);
+        const double old_a_lx = a.lx, old_b_lx = b.lx;
+        (*pl_)[a.cell].x = new_a_lx + a.width / 2.0;
+        (*pl_)[b.cell].x = new_b_lx + b.width / 2.0;
+        const double after = nets_hpwl(pair);
+        if (after + 1e-12 < before) {
+          a.lx = new_a_lx;
+          b.lx = new_b_lx;
+          std::swap(row[i], row[i + 1]);
+          ++moves;
+        } else {
+          (*pl_)[a.cell].x = old_a_lx + a.width / 2.0;
+          (*pl_)[b.cell].x = old_b_lx + b.width / 2.0;
+        }
+      }
+    }
+    return moves;
+  }
+
+  std::size_t unit_slide_pass() {
+    std::size_t moves = 0;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        Entry& e = rows_[r][i];
+        if (e.unit == kNoUnit) continue;
+        const Unit& unit = (*units_)[static_cast<std::size_t>(e.unit)];
+        // Relative member offsets from the unit's left edge.
+        std::vector<CellId> cells = unit.cells;
+        std::vector<double> rel(cells.size());
+        for (std::size_t k = 0; k < cells.size(); ++k) {
+          rel[k] = (*pl_)[cells[k]].x - e.lx;
+        }
+        const double x_opt = optimal_position(cells, rel);
+        if (!std::isfinite(x_opt)) continue;
+        if (try_shift(r, i, x_opt, cells, rel)) ++moves;
+      }
+    }
+    return moves;
+  }
+
+  const netlist::Netlist* nl_;
+  const netlist::Design* design_;
+  netlist::Placement* pl_;
+  const std::vector<Unit>* units_;
+  std::vector<std::vector<Entry>> rows_;
+  std::vector<NetId> scratch_nets_;
+  std::vector<double> breakpoints_;
+};
+
+}  // namespace
+
+DetailedPlacer::DetailedPlacer(const netlist::Netlist& nl,
+                               const netlist::Design& design)
+    : nl_(&nl), design_(&design) {}
+
+DetailStats DetailedPlacer::run(netlist::Placement& pl,
+                                const DetailOptions& options) {
+  const std::vector<Unit> no_units;
+  Engine engine(*nl_, *design_, pl, no_units);
+  return engine.optimize(options);
+}
+
+DetailStats DetailedPlacer::run_structured(
+    netlist::Placement& pl, const netlist::StructureAnnotation& groups,
+    const std::vector<bool>& bits_along_y, const DetailOptions& options) {
+  std::vector<Unit> units;
+  for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+    const bool along_y = g < bits_along_y.size() ? bits_along_y[g] : true;
+    for (auto& lane : netlist::row_lanes(groups.groups[g], along_y)) {
+      if (lane.empty()) continue;
+      // A lane may have been folded across several rows by legalization;
+      // split it into per-row units.
+      std::sort(lane.begin(), lane.end(), [&](CellId a, CellId b) {
+        return pl[a].x < pl[b].x;
+      });
+      std::vector<std::pair<std::size_t, CellId>> by_row;
+      by_row.reserve(lane.size());
+      for (CellId c : lane) {
+        by_row.emplace_back(design_->nearest_row(pl[c].y), c);
+      }
+      std::stable_sort(
+          by_row.begin(), by_row.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::size_t start = 0;
+      while (start < by_row.size()) {
+        std::size_t end = start;
+        while (end < by_row.size() &&
+               by_row[end].first == by_row[start].first) {
+          ++end;
+        }
+        Unit u;
+        u.row = by_row[start].first;
+        double sum_w = 0.0, lo = 1e300, hi = -1e300;
+        for (std::size_t k = start; k < end; ++k) {
+          const CellId c = by_row[k].second;
+          u.cells.push_back(c);
+          sum_w += nl_->cell_width(c);
+          lo = std::min(lo, pl[c].x - nl_->cell_width(c) / 2.0);
+          hi = std::max(hi, pl[c].x + nl_->cell_width(c) / 2.0);
+        }
+        // Only perfectly packed lanes move as rigid units: any internal
+        // gap could legally contain a foreign cell, and a bounding-box
+        // pseudo-entry spanning it would corrupt the row model. Lanes
+        // with gaps (legalization fallbacks, gentle mode, array holes)
+        // are handled as individual free cells instead.
+        if (hi - lo <= sum_w + 1e-9) {
+          units.push_back(std::move(u));
+        }
+        start = end;
+      }
+    }
+  }
+  Engine engine(*nl_, *design_, pl, units);
+  return engine.optimize(options);
+}
+
+}  // namespace dp::detail

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/structure.hpp"
+
+namespace dp::detail {
+
+struct DetailOptions {
+  std::size_t max_passes = 4;
+  /// Stop a pass loop early when a full pass improves HPWL by less than
+  /// this relative amount.
+  double rel_improvement_floor = 1e-4;
+};
+
+struct DetailStats {
+  double hpwl_before = 0.0;
+  double hpwl_after = 0.0;
+  std::size_t slides = 0;
+  std::size_t swaps = 0;
+  std::size_t slice_slides = 0;
+  std::size_t passes = 0;
+};
+
+/// Row-based detailed placement: per-cell optimal-interval sliding within
+/// row gaps plus adjacent-cell swapping, iterated to convergence. In
+/// structure-aware mode the cells of extracted datapath groups are moved
+/// only as whole row units (slices), preserving the aligned arrays the
+/// structure-aware flow produced.
+///
+/// Precondition: `pl` is legal (row- and site-aligned, no overlaps);
+/// the placer maintains legality move by move.
+class DetailedPlacer {
+ public:
+  DetailedPlacer(const netlist::Netlist& nl, const netlist::Design& design);
+
+  /// Plain detailed placement over all movable cells.
+  DetailStats run(netlist::Placement& pl, const DetailOptions& options = {});
+
+  /// Structure-aware: group member cells move only as whole slices
+  /// (horizontal unit slides); all other cells get the plain moves.
+  /// `bits_along_y[g]` selects which axis forms the row units of group g.
+  DetailStats run_structured(netlist::Placement& pl,
+                             const netlist::StructureAnnotation& groups,
+                             const std::vector<bool>& bits_along_y,
+                             const DetailOptions& options = {});
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::Design* design_;
+};
+
+}  // namespace dp::detail

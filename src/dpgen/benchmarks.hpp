@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpgen/generator.hpp"
+
+namespace dp::dpgen {
+
+/// Names of the standard benchmark suite (reconstructed Table 1 rows).
+std::vector<std::string> standard_benchmarks();
+
+/// Build one of the standard benchmarks by name; throws on unknown names.
+/// The same name + seed always produces the identical netlist.
+Benchmark make_benchmark(const std::string& name, std::uint64_t seed = 1);
+
+/// A design whose movable cells are `datapath_fraction` datapath (ALU +
+/// adder slices) and the rest random glue, with roughly `approx_cells`
+/// movable cells in total. Used for the datapath-fraction sweep (Fig. 4).
+Benchmark make_mix(double datapath_fraction, std::size_t approx_cells,
+                   std::uint64_t seed = 7);
+
+/// A scaling-family design of roughly `approx_cells` movable cells built
+/// from replicated 32-bit ALUs plus 40% glue (Fig. 7).
+Benchmark make_scaled(std::size_t approx_cells, std::uint64_t seed = 11);
+
+}  // namespace dp::dpgen

@@ -1,0 +1,205 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/rect.hpp"
+
+namespace dp::eval {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::PinId;
+
+double net_hpwl(const netlist::Netlist& nl, NetId net,
+                const netlist::Placement& pl) {
+  const auto& pins = nl.net(net).pins;
+  if (pins.size() < 2) return 0.0;
+  geom::Rect box;
+  for (PinId p : pins) box.expand(nl.pin_position(p, pl));
+  return box.half_perimeter();
+}
+
+double hpwl(const netlist::Netlist& nl, const netlist::Placement& pl) {
+  double total = 0.0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    total += nl.net(n).weight * net_hpwl(nl, n, pl);
+  }
+  return total;
+}
+
+double datapath_hpwl(const netlist::Netlist& nl, const netlist::Placement& pl,
+                     const netlist::StructureAnnotation& groups) {
+  const auto member = groups.membership(nl.num_cells());
+  double total = 0.0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    bool touches = false;
+    for (PinId p : nl.net(n).pins) {
+      if (member[nl.pin(p).cell]) {
+        touches = true;
+        break;
+      }
+    }
+    if (touches) total += nl.net(n).weight * net_hpwl(nl, n, pl);
+  }
+  return total;
+}
+
+LegalityReport check_legality(const netlist::Netlist& nl,
+                              const netlist::Design& design,
+                              const netlist::Placement& pl, double tolerance) {
+  LegalityReport rep;
+  const geom::Rect& core = design.core();
+
+  struct Placed {
+    double lx, hx;
+    CellId cell;
+  };
+  // Bucket movable cells by row, then sweep each row for overlaps.
+  std::vector<std::vector<Placed>> rows(design.num_rows());
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(c).fixed) continue;
+    const double w = nl.cell_width(c);
+    const double h = nl.cell_height(c);
+    const double lx = pl[c].x - w / 2.0;
+    const double ly = pl[c].y - h / 2.0;
+
+    if (lx < core.lx - tolerance || lx + w > core.hx + tolerance ||
+        ly < core.ly - tolerance || ly + h > core.hy + tolerance) {
+      ++rep.out_of_core;
+    }
+    const double row_rel = (ly - core.ly) / design.row_height();
+    if (std::abs(row_rel - std::round(row_rel)) > tolerance) {
+      ++rep.off_row;
+    }
+    const double site_rel = (lx - core.lx) / design.site_width();
+    if (std::abs(site_rel - std::round(site_rel)) > tolerance) {
+      ++rep.off_site;
+    }
+    const std::size_t r = design.nearest_row(ly + h / 2.0);
+    rows[r].push_back({lx, lx + w, c});
+  }
+
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end(),
+              [](const Placed& a, const Placed& b) { return a.lx < b.lx; });
+    for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+      const double ov = row[i].hx - row[i + 1].lx;
+      if (ov > tolerance) {
+        ++rep.overlaps;
+        rep.total_overlap_area += ov * design.row_height();
+      }
+    }
+  }
+  return rep;
+}
+
+namespace {
+
+/// RMS of deviations from the mean, for one coordinate of a cell set.
+double rms_spread(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mean) * (x - mean);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+/// Mean RMS misalignment of a group for one orientation.
+/// `bits_along_y`: slices share y and stages share x (the usual layout).
+double group_misalignment(const netlist::StructureGroup& g,
+                          const netlist::Placement& pl, bool bits_along_y) {
+  double acc = 0.0;
+  std::size_t terms = 0;
+  for (std::size_t b = 0; b < g.bits; ++b) {
+    std::vector<double> coord;
+    for (std::size_t s = 0; s < g.stages; ++s) {
+      const CellId c = g.at(b, s);
+      if (c != netlist::kInvalidId) {
+        coord.push_back(bits_along_y ? pl[c].y : pl[c].x);
+      }
+    }
+    if (coord.size() >= 2) {
+      acc += rms_spread(coord);
+      ++terms;
+    }
+  }
+  for (std::size_t s = 0; s < g.stages; ++s) {
+    std::vector<double> coord;
+    for (std::size_t b = 0; b < g.bits; ++b) {
+      const CellId c = g.at(b, s);
+      if (c != netlist::kInvalidId) {
+        coord.push_back(bits_along_y ? pl[c].x : pl[c].y);
+      }
+    }
+    if (coord.size() >= 2) {
+      acc += rms_spread(coord);
+      ++terms;
+    }
+  }
+  return terms == 0 ? 0.0 : acc / static_cast<double>(terms);
+}
+
+}  // namespace
+
+AlignmentScore alignment_score(const netlist::Netlist& nl,
+                               const netlist::Placement& pl,
+                               const netlist::StructureAnnotation& groups) {
+  AlignmentScore score;
+  if (groups.groups.empty()) return score;
+  double acc = 0.0;
+  for (const auto& g : groups.groups) {
+    const double m = std::min(group_misalignment(g, pl, true),
+                              group_misalignment(g, pl, false)) /
+                     netlist::kRowHeight;
+    acc += m;
+    score.worst_group = std::max(score.worst_group, m);
+  }
+  score.rms_misalignment = acc / static_cast<double>(groups.groups.size());
+  (void)nl;
+  return score;
+}
+
+double density_overflow(const netlist::Netlist& nl,
+                        const netlist::Design& design,
+                        const netlist::Placement& pl, double target_density,
+                        std::size_t bins_per_side) {
+  const geom::Rect& core = design.core();
+  const std::size_t nb = bins_per_side;
+  const double bw = core.width() / static_cast<double>(nb);
+  const double bh = core.height() / static_cast<double>(nb);
+  std::vector<double> usage(nb * nb, 0.0);
+
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(c).fixed) continue;
+    const geom::Rect r = geom::Rect::from_center(pl[c], nl.cell_width(c),
+                                                 nl.cell_height(c));
+    const auto bx0 = static_cast<long long>(std::floor((r.lx - core.lx) / bw));
+    const auto bx1 = static_cast<long long>(std::floor((r.hx - core.lx) / bw));
+    const auto by0 = static_cast<long long>(std::floor((r.ly - core.ly) / bh));
+    const auto by1 = static_cast<long long>(std::floor((r.hy - core.ly) / bh));
+    for (long long by = std::max(0LL, by0);
+         by <= std::min<long long>(static_cast<long long>(nb) - 1, by1); ++by) {
+      for (long long bx = std::max(0LL, bx0);
+           bx <= std::min<long long>(static_cast<long long>(nb) - 1, bx1);
+           ++bx) {
+        const geom::Rect bin{core.lx + static_cast<double>(bx) * bw,
+                             core.ly + static_cast<double>(by) * bh,
+                             core.lx + static_cast<double>(bx + 1) * bw,
+                             core.ly + static_cast<double>(by + 1) * bh};
+        usage[static_cast<std::size_t>(by) * nb +
+              static_cast<std::size_t>(bx)] += r.overlap_area(bin);
+      }
+    }
+  }
+
+  const double bin_cap = bw * bh * target_density;
+  double overflow = 0.0;
+  for (double u : usage) overflow += std::max(0.0, u - bin_cap);
+  const double movable = nl.movable_area();
+  return movable > 0.0 ? overflow / movable : 0.0;
+}
+
+}  // namespace dp::eval

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/structure.hpp"
+
+namespace dp::eval {
+
+/// Total half-perimeter wirelength over all nets (weighted).
+double hpwl(const netlist::Netlist& netlist, const netlist::Placement& pl);
+
+/// HPWL of a single net.
+double net_hpwl(const netlist::Netlist& netlist, netlist::NetId net,
+                const netlist::Placement& pl);
+
+/// HPWL restricted to nets with at least one pin on a datapath cell
+/// (the "datapath wirelength" column of the headline table).
+double datapath_hpwl(const netlist::Netlist& netlist,
+                     const netlist::Placement& pl,
+                     const netlist::StructureAnnotation& groups);
+
+/// Legality violations of a row-based placement.
+struct LegalityReport {
+  std::size_t overlaps = 0;        ///< pairs of overlapping movable cells
+  std::size_t off_row = 0;         ///< cells not aligned to a row
+  std::size_t off_site = 0;        ///< cells not aligned to the site grid
+  std::size_t out_of_core = 0;     ///< cells sticking out of the core
+  double total_overlap_area = 0.0;
+
+  bool legal() const {
+    return overlaps == 0 && off_row == 0 && off_site == 0 && out_of_core == 0;
+  }
+};
+
+LegalityReport check_legality(const netlist::Netlist& netlist,
+                              const netlist::Design& design,
+                              const netlist::Placement& pl,
+                              double tolerance = 1e-6);
+
+/// Structure alignment quality of a placement, for one annotation.
+///
+/// For each group the score measures how tightly each bit slice hugs a
+/// common row (y spread) and each stage hugs a common column (x spread),
+/// normalized by row height; 0 = perfectly aligned arrays. Reported as the
+/// mean RMS deviation in row-height units over all slices/stages. The
+/// group's orientation (bits-as-rows vs bits-as-columns) is chosen to the
+/// better of the two, matching what the placer may choose.
+struct AlignmentScore {
+  double rms_misalignment = 0.0;  ///< mean RMS deviation, row heights
+  double worst_group = 0.0;
+};
+
+AlignmentScore alignment_score(const netlist::Netlist& netlist,
+                               const netlist::Placement& pl,
+                               const netlist::StructureAnnotation& groups);
+
+/// Bin-based density overflow: fraction of movable area exceeding the
+/// target density, evaluated on a uniform grid with `bins_per_side` bins.
+double density_overflow(const netlist::Netlist& netlist,
+                        const netlist::Design& design,
+                        const netlist::Placement& pl, double target_density,
+                        std::size_t bins_per_side = 32);
+
+}  // namespace dp::eval

@@ -1,0 +1,60 @@
+#include "eval/svg.hpp"
+
+#include <fstream>
+
+#include "geom/rect.hpp"
+
+namespace dp::eval {
+
+using netlist::CellId;
+using netlist::kInvalidId;
+
+void write_svg(const std::string& path, const netlist::Netlist& nl,
+               const netlist::Design& design, const netlist::Placement& pl,
+               const netlist::StructureAnnotation* groups) {
+  std::ofstream out(path);
+  if (!out) return;
+  const geom::Rect& core = design.core();
+  const double scale = 900.0 / std::max(core.width(), core.height());
+  const double margin = 20.0;
+  auto X = [&](double x) { return margin + (x - core.lx) * scale; };
+  // SVG y grows downward; flip so row 0 is at the bottom.
+  auto Y = [&](double y) { return margin + (core.hy - y) * scale; };
+
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='"
+      << core.width() * scale + 2 * margin << "' height='"
+      << core.height() * scale + 2 * margin << "'>\n";
+  out << "<rect x='" << X(core.lx) << "' y='" << Y(core.hy) << "' width='"
+      << core.width() * scale << "' height='" << core.height() * scale
+      << "' fill='white' stroke='black'/>\n";
+
+  std::vector<int> group_of(nl.num_cells(), -1);
+  if (groups != nullptr) {
+    for (std::size_t g = 0; g < groups->groups.size(); ++g) {
+      for (CellId c : groups->groups[g].cells) {
+        if (c != kInvalidId) group_of[c] = static_cast<int>(g);
+      }
+    }
+  }
+  static const char* kColors[] = {"#e41a1c", "#377eb8", "#4daf4a", "#984ea3",
+                                  "#ff7f00", "#a65628", "#f781bf", "#17becf",
+                                  "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3"};
+  constexpr std::size_t kNumColors = sizeof(kColors) / sizeof(kColors[0]);
+
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(c).fixed) continue;
+    const double w = nl.cell_width(c) * scale;
+    const double h = nl.cell_height(c) * scale;
+    const char* fill =
+        group_of[c] >= 0
+            ? kColors[static_cast<std::size_t>(group_of[c]) % kNumColors]
+            : "#cccccc";
+    out << "<rect x='" << X(pl[c].x - nl.cell_width(c) / 2.0) << "' y='"
+        << Y(pl[c].y + nl.cell_height(c) / 2.0) << "' width='" << w
+        << "' height='" << h << "' fill='" << fill
+        << "' fill-opacity='0.8' stroke='black' stroke-width='0.3'/>\n";
+  }
+  out << "</svg>\n";
+}
+
+}  // namespace dp::eval

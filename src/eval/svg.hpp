@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "netlist/design.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/structure.hpp"
+
+namespace dp::eval {
+
+/// Writes an SVG rendering of a placement: core outline, rows, movable
+/// cells (grey), and datapath groups (one color per group). Debugging and
+/// documentation aid.
+void write_svg(const std::string& path, const netlist::Netlist& nl,
+               const netlist::Design& design, const netlist::Placement& pl,
+               const netlist::StructureAnnotation* groups = nullptr);
+
+}  // namespace dp::eval

@@ -1,0 +1,259 @@
+#include "gp/density.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/rect.hpp"
+
+namespace dp::gp {
+
+using netlist::CellId;
+
+namespace {
+
+/// Smallest power of two >= x (x >= 1).
+std::size_t pow2_at_least(double x) {
+  std::size_t p = 1;
+  while (static_cast<double>(p) < x) p <<= 1;
+  return p;
+}
+
+/// One axis of the bell-shaped potential and its signed derivative.
+/// `d` is the signed distance cell-center minus bin-center; `wc` the cell
+/// extent on this axis, `wb` the bin extent.
+struct Bell {
+  double p = 0.0;   ///< potential in [0, 1]
+  double dp = 0.0;  ///< d(potential)/d(cell coordinate)
+};
+
+Bell bell(double d, double wc, double wb) {
+  const double ad = std::abs(d);
+  const double r1 = wc / 2.0 + wb;
+  const double r2 = wc / 2.0 + 2.0 * wb;
+  Bell out;
+  if (ad <= r1) {
+    const double a = 4.0 / ((wc + 2.0 * wb) * (wc + 4.0 * wb));
+    out.p = 1.0 - a * ad * ad;
+    out.dp = -2.0 * a * d;  // sign(d) * (-2 a |d|)
+  } else if (ad <= r2) {
+    const double b = 2.0 / (wb * (wc + 4.0 * wb));
+    const double t = ad - r2;
+    out.p = b * t * t;
+    out.dp = 2.0 * b * t * (d >= 0.0 ? 1.0 : -1.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+DensityPenalty::DensityPenalty(const netlist::Netlist& nl,
+                               const netlist::Design& design,
+                               std::size_t bins_per_side)
+    : nl_(&nl), design_(&design) {
+  const std::size_t n_mov = nl.num_movable();
+  nb_ = bins_per_side != 0
+            ? bins_per_side
+            : std::clamp<std::size_t>(
+                  pow2_at_least(std::sqrt(static_cast<double>(n_mov))), 16,
+                  512);
+  const geom::Rect& core = design.core();
+  bw_ = core.width() / static_cast<double>(nb_);
+  bh_ = core.height() / static_cast<double>(nb_);
+  target_per_bin_ = nl.movable_area() / static_cast<double>(nb_ * nb_);
+
+  // Preload exact overlap of fixed cells that intrude into the core.
+  preload_.assign(nb_ * nb_, 0.0);
+  density_.assign(nb_ * nb_, 0.0);
+  area_scale_.assign(nl.num_cells(), 1.0);
+}
+
+void DensityPenalty::preload_obstacles(const netlist::Placement& pl,
+                                       const VarMap& vars) {
+  preload_.assign(nb_ * nb_, 0.0);
+  const geom::Rect& core = design_->core();
+  const auto nbi = static_cast<long long>(nb_);
+  for (CellId c = 0; c < nl_->num_cells(); ++c) {
+    if (vars.var(c) != netlist::kInvalidId) continue;
+    const geom::Rect r = geom::Rect::from_center(pl[c], nl_->cell_width(c),
+                                                 nl_->cell_height(c));
+    const auto bx0 = std::max<long long>(
+        0, static_cast<long long>(std::floor((r.lx - core.lx) / bw_)));
+    const auto bx1 = std::min<long long>(
+        nbi - 1, static_cast<long long>(std::floor((r.hx - core.lx) / bw_)));
+    const auto by0 = std::max<long long>(
+        0, static_cast<long long>(std::floor((r.ly - core.ly) / bh_)));
+    const auto by1 = std::min<long long>(
+        nbi - 1, static_cast<long long>(std::floor((r.hy - core.ly) / bh_)));
+    for (long long by = by0; by <= by1; ++by) {
+      for (long long bx = bx0; bx <= bx1; ++bx) {
+        const geom::Rect bin{core.lx + static_cast<double>(bx) * bw_,
+                             core.ly + static_cast<double>(by) * bh_,
+                             core.lx + static_cast<double>(bx + 1) * bw_,
+                             core.ly + static_cast<double>(by + 1) * bh_};
+        preload_[static_cast<std::size_t>(by) * nb_ +
+                 static_cast<std::size_t>(bx)] += r.overlap_area(bin);
+      }
+    }
+  }
+}
+
+void DensityPenalty::set_area_scale(std::vector<double> scale) {
+  area_scale_ = std::move(scale);
+  area_scale_.resize(nl_->num_cells(), 1.0);
+  double scaled_total = 0.0;
+  for (CellId c = 0; c < nl_->num_cells(); ++c) {
+    if (!nl_->cell(c).fixed) {
+      scaled_total += nl_->cell_area(c) * area_scale_[c];
+    }
+  }
+  target_per_bin_ = scaled_total / static_cast<double>(nb_ * nb_);
+}
+
+double DensityPenalty::eval(const netlist::Placement& pl, const VarMap& vars,
+                            std::span<double> gx,
+                            std::span<double> gy) const {
+  const auto& nl = *nl_;
+  const geom::Rect& core = design_->core();
+  const auto nbi = static_cast<long long>(nb_);
+  density_ = preload_;
+
+  struct Footprint {
+    long long bx0, bx1, by0, by1;
+    double inv_norm;
+  };
+  const auto movable = vars.movable_cells();
+  std::vector<Footprint> foot(movable.size());
+
+  // Pass 1: accumulate smoothed density.
+  for (std::size_t v = 0; v < movable.size(); ++v) {
+    const CellId c = movable[v];
+    const double wc = nl.cell_width(c);
+    const double hc = nl.cell_height(c);
+    const double cx = pl[c].x;
+    const double cy = pl[c].y;
+    const double rx = wc / 2.0 + 2.0 * bw_;
+    const double ry = hc / 2.0 + 2.0 * bh_;
+
+    Footprint f;
+    f.bx0 = std::max<long long>(
+        0, static_cast<long long>(std::floor((cx - rx - core.lx) / bw_)));
+    f.bx1 = std::min<long long>(
+        nbi - 1, static_cast<long long>(std::floor((cx + rx - core.lx) / bw_)));
+    f.by0 = std::max<long long>(
+        0, static_cast<long long>(std::floor((cy - ry - core.ly) / bh_)));
+    f.by1 = std::min<long long>(
+        nbi - 1, static_cast<long long>(std::floor((cy + ry - core.ly) / bh_)));
+
+    double norm = 0.0;
+    for (long long by = f.by0; by <= f.by1; ++by) {
+      const double bcy = core.ly + (static_cast<double>(by) + 0.5) * bh_;
+      const Bell py = bell(cy - bcy, hc, bh_);
+      if (py.p == 0.0) continue;
+      for (long long bx = f.bx0; bx <= f.bx1; ++bx) {
+        const double bcx = core.lx + (static_cast<double>(bx) + 0.5) * bw_;
+        const Bell px = bell(cx - bcx, wc, bw_);
+        norm += px.p * py.p;
+      }
+    }
+    f.inv_norm =
+        norm > 0.0 ? nl.cell_area(c) * area_scale_[c] / norm : 0.0;
+    foot[v] = f;
+
+    if (f.inv_norm == 0.0) continue;
+    for (long long by = f.by0; by <= f.by1; ++by) {
+      const double bcy = core.ly + (static_cast<double>(by) + 0.5) * bh_;
+      const Bell py = bell(cy - bcy, hc, bh_);
+      if (py.p == 0.0) continue;
+      for (long long bx = f.bx0; bx <= f.bx1; ++bx) {
+        const double bcx = core.lx + (static_cast<double>(bx) + 0.5) * bw_;
+        const Bell px = bell(cx - bcx, wc, bw_);
+        density_[static_cast<std::size_t>(by) * nb_ +
+                 static_cast<std::size_t>(bx)] += f.inv_norm * px.p * py.p;
+      }
+    }
+  }
+
+  // Penalty value. In one-sided mode, under-full bins are free.
+  const bool one_sided = one_sided_cap_ >= 0.0;
+  const double target = one_sided ? one_sided_cap_ : target_per_bin_;
+  double value = 0.0;
+  for (double d : density_) {
+    double e = d - target;
+    if (one_sided && e < 0.0) e = 0.0;
+    value += e * e;
+  }
+
+  // Pass 2: gradient via chain rule (normalization treated as constant,
+  // the standard NTUplace approximation).
+  for (std::size_t v = 0; v < movable.size(); ++v) {
+    const Footprint& f = foot[v];
+    if (f.inv_norm == 0.0) continue;
+    const CellId c = movable[v];
+    const double wc = nl.cell_width(c);
+    const double hc = nl.cell_height(c);
+    const double cx = pl[c].x;
+    const double cy = pl[c].y;
+    double gx_acc = 0.0, gy_acc = 0.0;
+    for (long long by = f.by0; by <= f.by1; ++by) {
+      const double bcy = core.ly + (static_cast<double>(by) + 0.5) * bh_;
+      const Bell py = bell(cy - bcy, hc, bh_);
+      for (long long bx = f.bx0; bx <= f.bx1; ++bx) {
+        const double bcx = core.lx + (static_cast<double>(bx) + 0.5) * bw_;
+        const Bell px = bell(cx - bcx, wc, bw_);
+        double err = density_[static_cast<std::size_t>(by) * nb_ +
+                              static_cast<std::size_t>(bx)] -
+                     target;
+        if (one_sided && err < 0.0) err = 0.0;
+        gx_acc += 2.0 * err * f.inv_norm * px.dp * py.p;
+        gy_acc += 2.0 * err * f.inv_norm * px.p * py.dp;
+      }
+    }
+    gx[vars.var(c)] += gx_acc;
+    gy[vars.var(c)] += gy_acc;
+  }
+  return value;
+}
+
+double DensityPenalty::overflow(const netlist::Placement& pl,
+                                const VarMap& vars,
+                                double target_density) const {
+  const auto& nl = *nl_;
+  const geom::Rect& core = design_->core();
+  std::vector<double> usage = preload_;
+  const auto nbi = static_cast<long long>(nb_);
+
+  for (const CellId c : vars.movable_cells()) {
+    const geom::Rect r = geom::Rect::from_center(pl[c], nl.cell_width(c),
+                                                 nl.cell_height(c));
+    const auto bx0 = std::max<long long>(
+        0, static_cast<long long>(std::floor((r.lx - core.lx) / bw_)));
+    const auto bx1 = std::min<long long>(
+        nbi - 1, static_cast<long long>(std::floor((r.hx - core.lx) / bw_)));
+    const auto by0 = std::max<long long>(
+        0, static_cast<long long>(std::floor((r.ly - core.ly) / bh_)));
+    const auto by1 = std::min<long long>(
+        nbi - 1, static_cast<long long>(std::floor((r.hy - core.ly) / bh_)));
+    for (long long by = by0; by <= by1; ++by) {
+      for (long long bx = bx0; bx <= bx1; ++bx) {
+        const geom::Rect bin{core.lx + static_cast<double>(bx) * bw_,
+                             core.ly + static_cast<double>(by) * bh_,
+                             core.lx + static_cast<double>(bx + 1) * bw_,
+                             core.ly + static_cast<double>(by + 1) * bh_};
+        usage[static_cast<std::size_t>(by) * nb_ +
+              static_cast<std::size_t>(bx)] +=
+            r.overlap_area(bin) * area_scale_[c];
+      }
+    }
+  }
+
+  const double cap = bw_ * bh_ * target_density;
+  double over = 0.0;
+  for (double u : usage) over += std::max(0.0, u - cap);
+  double scaled_total = 0.0;
+  for (const CellId c : vars.movable_cells()) {
+    scaled_total += nl.cell_area(c) * area_scale_[c];
+  }
+  return scaled_total > 0.0 ? over / scaled_total : 0.0;
+}
+
+}  // namespace dp::gp

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gp/vars.hpp"
+#include "netlist/design.hpp"
+
+namespace dp::gp {
+
+/// Bell-shaped (NTUplace3/APlace-style) smooth density penalty.
+///
+/// The core is covered by a uniform bin grid. Each movable cell spreads a
+/// smooth, differentiable potential over nearby bins, normalized so its
+/// total contribution equals its area. The penalty is
+///   N(x, y) = sum_b (D_b - M_b)^2
+/// where D_b is the smoothed area in bin b and M_b the per-bin target
+/// (movable area spread uniformly). Fixed cells inside the core contribute
+/// their exact rectangle overlap to D_b as a constant preload.
+class DensityPenalty final : public ObjectiveTerm {
+ public:
+  DensityPenalty(const netlist::Netlist& nl, const netlist::Design& design,
+                 std::size_t bins_per_side = 0 /* 0 = auto */);
+
+  /// Switch to a one-sided penalty: only bins denser than `max_density`
+  /// are penalized, under-full bins are free. The default (two-sided
+  /// equality to the uniform target) spreads cells evenly over all free
+  /// space; one-sided lets a sparse subset (e.g. glue placed around
+  /// frozen plates) cluster at its wirelength optimum instead.
+  void set_one_sided(double max_density) {
+    one_sided_cap_ = bw_ * bh_ * max_density;
+  }
+
+  /// Rebuild the fixed-area preload: every cell WITHOUT a variable in
+  /// `vars` (netlist-fixed cells and cells frozen by a subset VarMap, e.g.
+  /// committed datapath plates) contributes its exact rectangle overlap to
+  /// the bins. Called by GlobalPlacer::place() before optimization.
+  void preload_obstacles(const netlist::Placement& pl, const VarMap& vars);
+
+  /// Per-cell area scaling for the density model (macro-shrink trick from
+  /// mixed-size placement): cells that will legally pack solid -- datapath
+  /// plate members -- contribute a reduced area, so a settled plate reads
+  /// as exactly-at-target and the density force inside it vanishes instead
+  /// of endlessly pushing the plate apart. The per-bin target is adjusted
+  /// to the scaled total. `scale` is indexed by CellId; missing entries
+  /// default to 1.
+  void set_area_scale(std::vector<double> scale);
+
+  double eval(const netlist::Placement& pl, const VarMap& vars,
+              std::span<double> gx, std::span<double> gy) const override;
+
+  /// Hard-overflow metric from the most recent eval(): the fraction of
+  /// movable area in bins above `target` density (computed on the same
+  /// grid but with the *exact* cell rectangles, not the smoothed bells).
+  double overflow(const netlist::Placement& pl, const VarMap& vars,
+                  double target_density) const;
+
+  std::size_t bins_per_side() const { return nb_; }
+  double bin_width() const { return bw_; }
+  double bin_height() const { return bh_; }
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::Design* design_;
+  std::size_t nb_ = 0;
+  double bw_ = 0.0, bh_ = 0.0;
+  double target_per_bin_ = 0.0;
+  double one_sided_cap_ = -1.0;  ///< <0: two-sided equality mode
+  std::vector<double> preload_;         ///< fixed-cell area per bin
+  std::vector<double> area_scale_;      ///< per-cell density area factor
+  mutable std::vector<double> density_;  ///< scratch: smoothed D_b
+};
+
+}  // namespace dp::gp

@@ -1,0 +1,248 @@
+#include "gp/global_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/metrics.hpp"
+#include "util/logger.hpp"
+
+namespace dp::gp {
+
+namespace {
+
+/// Combines wirelength + lambda*density + extra terms into the flat
+/// Objective interface consumed by the CG solver. Also clamps variables to
+/// the core region before every evaluation (projected descent).
+class CompositeObjective final : public Objective {
+ public:
+  CompositeObjective(const netlist::Netlist& nl,
+                     const netlist::Design& design, const VarMap& vars,
+                     const SmoothWirelength& wl, const DensityPenalty& den,
+                     netlist::Placement& pl)
+      : nl_(&nl), design_(&design), vars_(&vars), wl_(&wl), den_(&den),
+        pl_(&pl) {}
+
+  void set_lambda(double lambda) { lambda_ = lambda; }
+  void set_extras(const std::vector<ExtraTerm>* extras,
+                  const std::vector<double>* weights) {
+    extras_ = extras;
+    extra_weights_ = weights;
+  }
+
+  double eval(std::span<const double> v, std::span<double> grad) override {
+    const std::size_t n = vars_->num_vars();
+    // Project into the core (keeps the bell-shaped density well-defined).
+    clamped_.assign(v.begin(), v.end());
+    const geom::Rect& core = design_->core();
+    for (std::size_t i = 0; i < n; ++i) {
+      clamped_[i] = std::clamp(clamped_[i], core.lx, core.hx);
+      clamped_[n + i] = std::clamp(clamped_[n + i], core.ly, core.hy);
+    }
+    vars_->scatter(clamped_, *pl_);
+
+    gx_.assign(n, 0.0);
+    gy_.assign(n, 0.0);
+    double f = wl_->eval(*pl_, *vars_, gx_, gy_);
+
+    dgx_.assign(n, 0.0);
+    dgy_.assign(n, 0.0);
+    f += lambda_ * den_->eval(*pl_, *vars_, dgx_, dgy_);
+    for (std::size_t i = 0; i < n; ++i) {
+      gx_[i] += lambda_ * dgx_[i];
+      gy_[i] += lambda_ * dgy_[i];
+    }
+
+    if (extras_ != nullptr) {
+      for (std::size_t t = 0; t < extras_->size(); ++t) {
+        const double w = (*extra_weights_)[t];
+        if (w == 0.0) continue;
+        dgx_.assign(n, 0.0);
+        dgy_.assign(n, 0.0);
+        f += w * (*extras_)[t].term->eval(*pl_, *vars_, dgx_, dgy_);
+        for (std::size_t i = 0; i < n; ++i) {
+          gx_[i] += w * dgx_[i];
+          gy_[i] += w * dgy_[i];
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      grad[i] = gx_[i];
+      grad[n + i] = gy_[i];
+    }
+    return f;
+  }
+
+  /// Gradient L1 norms of the individual terms at the current placement,
+  /// used for the lambda normalization.
+  std::pair<double, double> gradient_norms(std::span<const double> v) {
+    const std::size_t n = vars_->num_vars();
+    clamped_.assign(v.begin(), v.end());
+    vars_->scatter(clamped_, *pl_);
+    gx_.assign(n, 0.0);
+    gy_.assign(n, 0.0);
+    wl_->eval(*pl_, *vars_, gx_, gy_);
+    double wl_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      wl_norm += std::abs(gx_[i]) + std::abs(gy_[i]);
+    }
+    gx_.assign(n, 0.0);
+    gy_.assign(n, 0.0);
+    den_->eval(*pl_, *vars_, gx_, gy_);
+    double den_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      den_norm += std::abs(gx_[i]) + std::abs(gy_[i]);
+    }
+    return {wl_norm, den_norm};
+  }
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::Design* design_;
+  const VarMap* vars_;
+  const SmoothWirelength* wl_;
+  const DensityPenalty* den_;
+  netlist::Placement* pl_;
+  double lambda_ = 0.0;
+  const std::vector<ExtraTerm>* extras_ = nullptr;
+  const std::vector<double>* extra_weights_ = nullptr;
+  std::vector<double> clamped_, gx_, gy_, dgx_, dgy_;
+};
+
+}  // namespace
+
+GlobalPlacer::GlobalPlacer(const netlist::Netlist& nl,
+                           const netlist::Design& design, GpOptions options)
+    : GlobalPlacer(nl, design, options, VarMap(nl)) {}
+
+GlobalPlacer::GlobalPlacer(const netlist::Netlist& nl,
+                           const netlist::Design& design, GpOptions options,
+                           VarMap vars)
+    : nl_(&nl), design_(&design), options_(options), vars_(std::move(vars)) {
+  density_ = std::make_unique<DensityPenalty>(nl, design,
+                                              options_.bins_per_side);
+  if (options_.one_sided_max_density >= 0.0) {
+    density_->set_one_sided(options_.one_sided_max_density);
+  }
+  const double gamma0 = options_.gamma_init_bins * density_->bin_width();
+  wirelength_ =
+      std::make_unique<SmoothWirelength>(nl, options_.wl_model, gamma0);
+}
+
+std::pair<double, double> GlobalPlacer::probe_norms(
+    const ObjectiveTerm& term, const netlist::Placement& pl) const {
+  const std::size_t n = vars_.num_vars();
+  std::vector<double> gx(n, 0.0), gy(n, 0.0);
+  wirelength_->eval(pl, vars_, gx, gy);
+  double wl_norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    wl_norm += std::abs(gx[i]) + std::abs(gy[i]);
+  }
+  gx.assign(n, 0.0);
+  gy.assign(n, 0.0);
+  term.eval(pl, vars_, gx, gy);
+  double term_norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    term_norm += std::abs(gx[i]) + std::abs(gy[i]);
+  }
+  return {wl_norm, term_norm};
+}
+
+GpResult GlobalPlacer::place(netlist::Placement& pl) {
+  GpResult result;
+  if (vars_.num_vars() == 0) {
+    result.final_hpwl = eval::hpwl(*nl_, pl);
+    return result;
+  }
+
+  density_->preload_obstacles(pl, vars_);
+
+  if (options_.run_quadratic_init) {
+    quadratic_initial_placement(*nl_, *design_, vars_, pl,
+                                options_.quadratic);
+  }
+
+  CompositeObjective objective(*nl_, *design_, vars_, *wirelength_,
+                               *density_, pl);
+  std::vector<double> extra_weights(extras_.size(), 0.0);
+  objective.set_extras(&extras_, &extra_weights);
+
+  std::vector<double> v = vars_.gather(pl);
+
+  // Lambda normalization from the initial gradient ratio.
+  const auto [wl_norm, den_norm] = objective.gradient_norms(v);
+  double lambda = den_norm > 0.0
+                      ? options_.lambda_init_factor * wl_norm / den_norm
+                      : 1.0;
+
+  const double gamma0 = options_.gamma_init_bins * density_->bin_width();
+  const double gamma1 = options_.gamma_final_bins * density_->bin_width();
+
+  CgOptions cg;
+  cg.max_iters = options_.inner_iters;
+  cg.step_ref = density_->bin_width();
+
+  double overflow =
+      density_->overflow(pl, vars_, options_.target_density);
+  double best_overflow = overflow;
+  std::size_t stall = 0;
+
+  for (std::size_t outer = 0; outer < options_.max_outer; ++outer) {
+    const double frac =
+        options_.max_outer > 1
+            ? static_cast<double>(outer) /
+                  static_cast<double>(options_.max_outer - 1)
+            : 1.0;
+    const double gamma = gamma0 * std::pow(gamma1 / gamma0, frac);
+    wirelength_->set_gamma(gamma);
+    objective.set_lambda(lambda);
+    const TermContext ctx{outer, overflow, lambda};
+    for (std::size_t t = 0; t < extras_.size(); ++t) {
+      extra_weights[t] = extras_[t].weight ? extras_[t].weight(ctx) : 0.0;
+    }
+
+    const CgResult inner = minimize_cg(objective, v, cg);
+    result.total_cg_iterations += inner.iterations;
+    result.total_evaluations += inner.evaluations;
+
+    // The objective evaluates a core-clamped copy of the variables; fold
+    // that projection back into the iterate so positions (and the next
+    // outer iteration's starting point) stay inside the core.
+    {
+      const std::size_t n = vars_.num_vars();
+      const geom::Rect& core = design_->core();
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = std::clamp(v[i], core.lx, core.hx);
+        v[n + i] = std::clamp(v[n + i], core.ly, core.hy);
+      }
+    }
+
+    vars_.scatter(v, pl);
+    overflow = density_->overflow(pl, vars_, options_.target_density);
+    const double hp = eval::hpwl(*nl_, pl);
+    result.trace.push_back(
+        {outer, hp, wirelength_->value(pl), overflow, lambda, gamma});
+    util::Logger::debug("gp outer %zu: hpwl=%.1f overflow=%.4f lambda=%.3g",
+                        outer, hp, overflow, lambda);
+
+    if (overflow <= options_.stop_overflow) break;
+    // Plateau stop: highly regular designs with alignment active cannot
+    // reach uniform density; once overflow stops improving, further
+    // lambda ramping only degrades wirelength.
+    if (overflow < best_overflow - 0.005) {
+      best_overflow = overflow;
+      stall = 0;
+    } else if (options_.plateau_stall > 0 &&
+               ++stall >= options_.plateau_stall) {
+      break;
+    }
+    lambda *= options_.lambda_multiplier;
+  }
+
+  vars_.scatter(v, pl);
+  result.final_hpwl = eval::hpwl(*nl_, pl);
+  result.final_overflow = overflow;
+  return result;
+}
+
+}  // namespace dp::gp

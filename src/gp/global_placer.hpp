@@ -1,0 +1,123 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gp/density.hpp"
+#include "gp/optimizer.hpp"
+#include "gp/quadratic.hpp"
+#include "gp/vars.hpp"
+#include "gp/wirelength.hpp"
+#include "netlist/design.hpp"
+
+namespace dp::gp {
+
+struct GpOptions {
+  WirelengthModel wl_model = WirelengthModel::kWa;
+  /// Density threshold used by the overflow stop criterion.
+  double target_density = 1.0;
+  /// Stop when the hard density overflow drops below this fraction.
+  double stop_overflow = 0.08;
+  std::size_t max_outer = 40;
+  std::size_t inner_iters = 50;
+  /// Stop after this many outer iterations without overflow improvement
+  /// (0 disables the plateau stop).
+  std::size_t plateau_stall = 4;
+  /// One-sided density: only bins above `one_sided_max_density` are
+  /// penalized (see DensityPenalty::set_one_sided). < 0 keeps the default
+  /// two-sided equality spreading.
+  double one_sided_max_density = -1.0;
+  /// Density penalty weight multiplier per outer iteration.
+  double lambda_multiplier = 2.0;
+  /// Initial density weight relative to the gradient-ratio normalization.
+  double lambda_init_factor = 0.1;
+  /// Wirelength smoothing: gamma in units of bin width, annealed
+  /// geometrically from init to final across the outer iterations.
+  double gamma_init_bins = 6.0;
+  double gamma_final_bins = 0.8;
+  std::size_t bins_per_side = 0;  ///< 0 = auto from design size
+  bool run_quadratic_init = true;
+  QuadraticOptions quadratic;
+};
+
+/// One sample of the convergence trace (reconstructed Fig. 3 series).
+struct GpTracePoint {
+  std::size_t outer = 0;
+  double hpwl = 0.0;
+  double smooth_wl = 0.0;
+  double overflow = 0.0;
+  double lambda = 0.0;
+  double gamma = 0.0;
+};
+
+struct GpResult {
+  std::vector<GpTracePoint> trace;
+  double final_hpwl = 0.0;
+  double final_overflow = 0.0;
+  std::size_t total_cg_iterations = 0;
+  std::size_t total_evaluations = 0;
+};
+
+/// Scheduling context handed to extra-term weight callbacks each outer
+/// iteration. `lambda` is the current density weight: terms that must hold
+/// their ground against density spreading (like the structure alignment
+/// penalty) scale their weight with it.
+struct TermContext {
+  std::size_t outer = 0;
+  double overflow = 1.0;
+  double lambda = 0.0;
+};
+
+/// An additional objective term (e.g. the structure alignment penalty)
+/// whose weight is re-evaluated at the start of every outer iteration.
+struct ExtraTerm {
+  const ObjectiveTerm* term = nullptr;
+  std::function<double(const TermContext&)> weight;
+};
+
+/// NTUplace3-style nonlinear analytical global placer:
+///   minimize  WL_smooth(x) + lambda * Density(x) + sum_i w_i * Extra_i(x)
+/// with conjugate gradient inner iterations and a geometric lambda ramp,
+/// until the hard density overflow is below the stop threshold.
+class GlobalPlacer {
+ public:
+  GlobalPlacer(const netlist::Netlist& nl, const netlist::Design& design,
+               GpOptions options = {});
+
+  /// With an explicit variable map (e.g. rigid-body mode for the second
+  /// placement phase, where legalized datapath plates move as units).
+  GlobalPlacer(const netlist::Netlist& nl, const netlist::Design& design,
+               GpOptions options, VarMap vars);
+
+  /// Register an extra objective term; must outlive place().
+  void add_term(ExtraTerm term) { extras_.push_back(std::move(term)); }
+
+  /// Forward a per-cell density area scale (see DensityPenalty).
+  void set_density_area_scale(std::vector<double> scale) {
+    density_->set_area_scale(std::move(scale));
+  }
+
+  /// L1 gradient norms (wirelength, term) at the given placement; used by
+  /// weight schedules to normalize a term against the wirelength force.
+  std::pair<double, double> probe_norms(const ObjectiveTerm& term,
+                                        const netlist::Placement& pl) const;
+
+  const VarMap& vars() const { return vars_; }
+  const DensityPenalty& density() const { return *density_; }
+
+  /// Run global placement; `pl` provides fixed-cell positions and the
+  /// movable starting point, and receives the result.
+  GpResult place(netlist::Placement& pl);
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::Design* design_;
+  GpOptions options_;
+  VarMap vars_;
+  std::unique_ptr<SmoothWirelength> wirelength_;
+  std::unique_ptr<DensityPenalty> density_;
+  std::vector<ExtraTerm> extras_;
+};
+
+}  // namespace dp::gp

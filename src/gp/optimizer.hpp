@@ -1,0 +1,43 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace dp::gp {
+
+/// A smooth function R^n -> R with gradient, minimized by the CG solver.
+class Objective {
+ public:
+  virtual ~Objective() = default;
+  /// Writes the full gradient into `grad` (overwrite, not accumulate) and
+  /// returns the objective value.
+  virtual double eval(std::span<const double> vars,
+                      std::span<double> grad) = 0;
+};
+
+struct CgOptions {
+  std::size_t max_iters = 100;
+  /// Stop when the objective improves by less than this relative amount
+  /// over an iteration.
+  double rel_tol = 1e-5;
+  /// Reference trial-step length: the first line-search trial moves the
+  /// fastest coordinate by this distance (typically one bin width).
+  double step_ref = 1.0;
+  /// Armijo sufficient-decrease constant.
+  double armijo_c1 = 1e-4;
+  std::size_t max_backtracks = 12;
+};
+
+struct CgResult {
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;
+  double final_value = 0.0;
+};
+
+/// Polak-Ribiere+ nonlinear conjugate gradient with Armijo backtracking
+/// line search and automatic restarts. `vars` is updated in place.
+CgResult minimize_cg(Objective& objective, std::vector<double>& vars,
+                     const CgOptions& options);
+
+}  // namespace dp::gp

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "gp/vars.hpp"
+#include "netlist/design.hpp"
+#include "util/prng.hpp"
+
+namespace dp::gp {
+
+struct QuadraticOptions {
+  /// Jacobi sweeps of the quadratic (clique/star) net model.
+  std::size_t sweeps = 150;
+  /// Random jitter (fraction of a row height) added at the end to break
+  /// exact coordinate ties between identically connected cells.
+  double jitter = 0.25;
+  std::uint64_t seed = 42;
+};
+
+/// Quadratic-wirelength initial placement: every movable cell is iterated
+/// to the weighted average of its nets' other-pin centroids (a Jacobi
+/// relaxation of the clique-model normal equations), anchored by the fixed
+/// pads. Positions are clamped to the core. This provides the warm start
+/// for the nonlinear global placement.
+void quadratic_initial_placement(const netlist::Netlist& nl,
+                                 const netlist::Design& design,
+                                 const VarMap& vars, netlist::Placement& pl,
+                                 const QuadraticOptions& options = {});
+
+}  // namespace dp::gp

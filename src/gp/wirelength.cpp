@@ -1,0 +1,173 @@
+#include "gp/wirelength.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace dp::gp {
+
+using netlist::NetId;
+using netlist::PinId;
+
+SmoothWirelength::SmoothWirelength(const netlist::Netlist& nl,
+                                   WirelengthModel model, double gamma)
+    : nl_(&nl), model_(model), gamma_(gamma) {}
+
+namespace {
+
+/// Per-net, per-axis scratch vectors reused across nets to avoid churn.
+struct Scratch {
+  std::vector<double> coord;
+  std::vector<double> wmax;  ///< e^{(x - max)/gamma}
+  std::vector<double> wmin;  ///< e^{(min - x)/gamma}
+};
+
+/// Log-sum-exp value and per-pin gradient for one axis of one net.
+/// grad[i] receives d/dx_i; returns the smoothed extent (>= true extent).
+double lse_axis(const Scratch& s, double gamma, std::span<double> grad) {
+  const std::size_t n = s.coord.size();
+  double smax = 0.0, smin = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    smax += s.wmax[i];
+    smin += s.wmin[i];
+  }
+  double max_c = s.coord[0], min_c = s.coord[0];
+  for (double c : s.coord) {
+    max_c = std::max(max_c, c);
+    min_c = std::min(min_c, c);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    grad[i] = s.wmax[i] / smax - s.wmin[i] / smin;
+  }
+  return (max_c + gamma * std::log(smax)) - (min_c - gamma * std::log(smin));
+}
+
+/// Weighted-average value and per-pin gradient for one axis of one net.
+double wa_axis(const Scratch& s, double gamma, std::span<double> grad) {
+  const std::size_t n = s.coord.size();
+  double smax = 0.0, amax = 0.0, smin = 0.0, amin = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    smax += s.wmax[i];
+    amax += s.coord[i] * s.wmax[i];
+    smin += s.wmin[i];
+    amin += s.coord[i] * s.wmin[i];
+  }
+  const double hi = amax / smax;
+  const double lo = amin / smin;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ghi = s.wmax[i] / smax * (1.0 + (s.coord[i] - hi) / gamma);
+    const double glo = s.wmin[i] / smin * (1.0 - (s.coord[i] - lo) / gamma);
+    grad[i] = ghi - glo;
+  }
+  return hi - lo;
+}
+
+}  // namespace
+
+double SmoothWirelength::eval(const netlist::Placement& pl,
+                              const VarMap& vars, std::span<double> gx,
+                              std::span<double> gy) const {
+  const auto& nl = *nl_;
+  const std::size_t nv = vars.num_vars();
+  double total = 0.0;
+  Scratch sx, sy;
+  std::vector<double> gpin_x, gpin_y;
+
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const auto& pins = nl.net(n).pins;
+    if (pins.size() < 2) continue;
+    const double weight = nl.net(n).weight;
+    const std::size_t deg = pins.size();
+
+    sx.coord.resize(deg);
+    sy.coord.resize(deg);
+    sx.wmax.resize(deg);
+    sx.wmin.resize(deg);
+    sy.wmax.resize(deg);
+    sy.wmin.resize(deg);
+    gpin_x.assign(deg, 0.0);
+    gpin_y.assign(deg, 0.0);
+
+    double max_x = -1e300, min_x = 1e300, max_y = -1e300, min_y = 1e300;
+    for (std::size_t i = 0; i < deg; ++i) {
+      const geom::Point p = nl.pin_position(pins[i], pl);
+      sx.coord[i] = p.x;
+      sy.coord[i] = p.y;
+      max_x = std::max(max_x, p.x);
+      min_x = std::min(min_x, p.x);
+      max_y = std::max(max_y, p.y);
+      min_y = std::min(min_y, p.y);
+    }
+    for (std::size_t i = 0; i < deg; ++i) {
+      sx.wmax[i] = std::exp((sx.coord[i] - max_x) / gamma_);
+      sx.wmin[i] = std::exp((min_x - sx.coord[i]) / gamma_);
+      sy.wmax[i] = std::exp((sy.coord[i] - max_y) / gamma_);
+      sy.wmin[i] = std::exp((min_y - sy.coord[i]) / gamma_);
+    }
+
+    double value;
+    if (model_ == WirelengthModel::kLse) {
+      value = lse_axis(sx, gamma_, gpin_x) + lse_axis(sy, gamma_, gpin_y);
+    } else {
+      value = wa_axis(sx, gamma_, gpin_x) + wa_axis(sy, gamma_, gpin_y);
+    }
+    total += weight * value;
+
+    for (std::size_t i = 0; i < deg; ++i) {
+      const auto v = vars.var(nl.pin(pins[i]).cell);
+      if (v == netlist::kInvalidId) continue;
+      gx[v] += weight * gpin_x[i];
+      gy[v] += weight * gpin_y[i];
+    }
+    (void)nv;
+  }
+  return total;
+}
+
+double SmoothWirelength::value(const netlist::Placement& pl) const {
+  // Evaluate with throwaway gradients against an empty VarMap-free path:
+  // reuse eval() with zero-capacity spans is unsafe, so compute directly.
+  const auto& nl = *nl_;
+  double total = 0.0;
+  Scratch sx, sy;
+  std::vector<double> scratch_grad;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const auto& pins = nl.net(n).pins;
+    if (pins.size() < 2) continue;
+    const std::size_t deg = pins.size();
+    sx.coord.resize(deg);
+    sy.coord.resize(deg);
+    sx.wmax.resize(deg);
+    sx.wmin.resize(deg);
+    sy.wmax.resize(deg);
+    sy.wmin.resize(deg);
+    scratch_grad.assign(deg, 0.0);
+    double max_x = -1e300, min_x = 1e300, max_y = -1e300, min_y = 1e300;
+    for (std::size_t i = 0; i < deg; ++i) {
+      const geom::Point p = nl.pin_position(pins[i], pl);
+      sx.coord[i] = p.x;
+      sy.coord[i] = p.y;
+      max_x = std::max(max_x, p.x);
+      min_x = std::min(min_x, p.x);
+      max_y = std::max(max_y, p.y);
+      min_y = std::min(min_y, p.y);
+    }
+    for (std::size_t i = 0; i < deg; ++i) {
+      sx.wmax[i] = std::exp((sx.coord[i] - max_x) / gamma_);
+      sx.wmin[i] = std::exp((min_x - sx.coord[i]) / gamma_);
+      sy.wmax[i] = std::exp((sy.coord[i] - max_y) / gamma_);
+      sy.wmin[i] = std::exp((min_y - sy.coord[i]) / gamma_);
+    }
+    double value;
+    if (model_ == WirelengthModel::kLse) {
+      value = lse_axis(sx, gamma_, scratch_grad) +
+              lse_axis(sy, gamma_, scratch_grad);
+    } else {
+      value = wa_axis(sx, gamma_, scratch_grad) +
+              wa_axis(sy, gamma_, scratch_grad);
+    }
+    total += nl.net(n).weight * value;
+  }
+  return total;
+}
+
+}  // namespace dp::gp

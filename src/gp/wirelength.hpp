@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+
+#include "gp/vars.hpp"
+
+namespace dp::gp {
+
+/// Which smooth approximation of HPWL the global placer minimizes.
+enum class WirelengthModel {
+  kLse,  ///< log-sum-exp (Naylor et al.), the classic analytical model
+  kWa,   ///< weighted-average (Hsu/Balabanov/Chang), tighter than LSE
+};
+
+/// Smooth wirelength objective term. The smoothing parameter gamma is
+/// annealed by the placement driver: large gamma = smooth/loose bound,
+/// small gamma = tight approximation of HPWL.
+///
+/// Both models are stabilized against overflow by max-shifting the
+/// exponents, so they stay finite for any coordinates.
+class SmoothWirelength final : public ObjectiveTerm {
+ public:
+  SmoothWirelength(const netlist::Netlist& nl, WirelengthModel model,
+                   double gamma);
+
+  void set_gamma(double gamma) { gamma_ = gamma; }
+  double gamma() const { return gamma_; }
+  WirelengthModel model() const { return model_; }
+
+  double eval(const netlist::Placement& pl, const VarMap& vars,
+              std::span<double> gx, std::span<double> gy) const override;
+
+  /// Value only (no gradient); used by tests and the driver's telemetry.
+  double value(const netlist::Placement& pl) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  WirelengthModel model_;
+  double gamma_;
+};
+
+}  // namespace dp::gp

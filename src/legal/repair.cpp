@@ -1,0 +1,107 @@
+#include "legal/repair.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "legal/abacus.hpp"
+#include "legal/rowmap.hpp"
+#include "legal/tetris.hpp"
+#include "util/logger.hpp"
+
+namespace dp::legal {
+
+using netlist::CellId;
+
+std::size_t repair_legality(const netlist::Netlist& nl,
+                            const netlist::Design& design,
+                            netlist::Placement& pl) {
+  const geom::Rect& core = design.core();
+  const double tol = 1e-6;
+
+  // Classify: victims = cells violating any constraint. Overlap pairs keep
+  // the earlier (left) cell in place.
+  struct Placed {
+    double lx, hx;
+    CellId cell;
+  };
+  std::vector<std::vector<Placed>> rows(design.num_rows());
+  std::vector<CellId> victims;
+
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(c).fixed) continue;
+    const double w = nl.cell_width(c);
+    const double h = nl.cell_height(c);
+    const double lx = pl[c].x - w / 2.0;
+    const double ly = pl[c].y - h / 2.0;
+    const double row_rel = (ly - core.ly) / design.row_height();
+    const double site_rel = (lx - core.lx) / design.site_width();
+    const bool off_grid =
+        std::abs(row_rel - std::round(row_rel)) > tol ||
+        std::abs(site_rel - std::round(site_rel)) > tol;
+    const bool outside = lx < core.lx - tol || lx + w > core.hx + tol ||
+                         ly < core.ly - tol || ly + h > core.hy + tol;
+    if (off_grid || outside) {
+      victims.push_back(c);
+      continue;
+    }
+    rows[design.nearest_row(pl[c].y)].push_back({lx, lx + w, c});
+  }
+
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end(),
+              [](const Placed& a, const Placed& b) { return a.lx < b.lx; });
+    double frontier = -1e300;
+    for (auto& p : row) {
+      if (p.lx < frontier - tol) {
+        victims.push_back(p.cell);
+        p.cell = netlist::kInvalidId;  // excluded from the free-space map
+      } else {
+        frontier = p.hx;
+      }
+    }
+  }
+  if (victims.empty()) return 0;
+
+  // Free space = core minus every legally placed cell.
+  RowMap free_map(design);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (const Placed& p : rows[r]) {
+      if (p.cell != netlist::kInvalidId) free_map.block(r, p.lx, p.hx);
+    }
+  }
+
+  AbacusLegalizer abacus(nl, design);
+  std::vector<CellId> failed;
+  abacus.run(pl, victims, free_map, &failed);
+  if (!failed.empty()) {
+    // Re-derive free space (Abacus consumed some) and sweep with Tetris.
+    RowMap retry(design);
+    for (CellId c = 0; c < nl.num_cells(); ++c) {
+      if (nl.cell(c).fixed) continue;
+      bool is_failed = false;
+      for (CellId f : failed) {
+        if (f == c) {
+          is_failed = true;
+          break;
+        }
+      }
+      if (is_failed) continue;
+      retry.block(design.nearest_row(pl[c].y),
+                  pl[c].x - nl.cell_width(c) / 2.0,
+                  pl[c].x + nl.cell_width(c) / 2.0);
+    }
+    TetrisLegalizer tetris(nl, design);
+    std::vector<CellId> still_failed;
+    tetris.run(pl, failed, retry, &still_failed);
+    if (!still_failed.empty()) {
+      util::Logger::warn("repair_legality: %zu cells could not be placed",
+                         still_failed.size());
+    }
+  }
+  util::Logger::debug("repair_legality: re-placed %zu cells",
+                      victims.size());
+  return victims.size();
+}
+
+}  // namespace dp::legal

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "legal/legalizer.hpp"
+#include "netlist/design.hpp"
+
+namespace dp::legal {
+
+/// Legality guarantee pass: detects movable cells that overlap a
+/// neighbour, stick out of the core, or sit off the row/site grid, rips
+/// them out, and re-places them into the actual remaining free space
+/// (Abacus first, Tetris sweep for stragglers). Idempotent on legal input.
+/// Returns the number of cells that had to be re-placed.
+std::size_t repair_legality(const netlist::Netlist& nl,
+                            const netlist::Design& design,
+                            netlist::Placement& pl);
+
+}  // namespace dp::legal

@@ -1,0 +1,36 @@
+#include "legal/rowmap.hpp"
+
+#include <algorithm>
+
+namespace dp::legal {
+
+RowMap::RowMap(const netlist::Design& design) : design_(&design) {
+  segments_.resize(design.num_rows());
+  for (std::size_t r = 0; r < design.num_rows(); ++r) {
+    const netlist::Row& row = design.row(r);
+    segments_[r].push_back({row.lx, row.hx});
+  }
+}
+
+void RowMap::block(std::size_t row, double lx, double hx) {
+  if (hx <= lx) return;
+  std::vector<Segment> next;
+  next.reserve(segments_[row].size() + 1);
+  for (const Segment& s : segments_[row]) {
+    if (hx <= s.lx || lx >= s.hx) {
+      next.push_back(s);
+      continue;
+    }
+    if (lx > s.lx) next.push_back({s.lx, lx});
+    if (hx < s.hx) next.push_back({hx, s.hx});
+  }
+  segments_[row] = std::move(next);
+}
+
+double RowMap::free_width(std::size_t row) const {
+  double w = 0.0;
+  for (const Segment& s : segments_[row]) w += s.width();
+  return w;
+}
+
+}  // namespace dp::legal

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "legal/legalizer.hpp"
+#include "legal/rowmap.hpp"
+#include "netlist/structure.hpp"
+
+namespace dp::legal {
+
+struct StructureLegalizeStats {
+  LegalizeStats slices;  ///< displacement of datapath cells
+  LegalizeStats rest;    ///< displacement of remaining movable cells
+  std::size_t groups_placed_as_blocks = 0;
+  std::size_t groups_fallback = 0;  ///< packed per-unit instead of as a block
+  std::size_t plate_moves = 0;      ///< improvement relocations accepted
+};
+
+/// Structure-preserving legalization: each datapath group is legalized as
+/// a rectangular array (one "row unit" per bit slice — or per stage for
+/// transposed groups — on consecutive rows, stage columns sharing x
+/// offsets), folding arrays taller than the core into side-by-side strips.
+/// The remaining cells are then Tetris-legalized into the leftover free
+/// space.
+///
+/// `bits_along_y[g]` gives group g's orientation: true = bit slices are
+/// horizontal rows (the usual datapath layout).
+class StructureLegalizer {
+ public:
+  StructureLegalizer(const netlist::Netlist& nl,
+                     const netlist::Design& design,
+                     const netlist::StructureAnnotation& groups,
+                     std::vector<bool> bits_along_y);
+
+  /// `between` (optional) is invoked after the plates are committed and
+  /// improved but before the remaining cells are legalized; it receives
+  /// the placement and a mask of the frozen plate cells. The macro-style
+  /// flow uses it to run a glue-only global placement around the plates.
+  using BetweenHook =
+      std::function<void(netlist::Placement&, const std::vector<bool>&)>;
+
+  StructureLegalizeStats run(netlist::Placement& pl,
+                             const BetweenHook& between = nullptr);
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::Design* design_;
+  const netlist::StructureAnnotation* groups_;
+  std::vector<bool> bits_along_y_;
+};
+
+}  // namespace dp::legal

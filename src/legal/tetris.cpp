@@ -1,0 +1,97 @@
+#include "legal/tetris.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dp::legal {
+
+using netlist::CellId;
+
+TetrisLegalizer::TetrisLegalizer(const netlist::Netlist& nl,
+                                 const netlist::Design& design)
+    : nl_(&nl), design_(&design) {}
+
+LegalizeStats TetrisLegalizer::run(netlist::Placement& pl,
+                                   const std::vector<CellId>& cells,
+                                   RowMap& rows,
+                                   std::vector<CellId>* failed) {
+  LegalizeStats stats;
+  const netlist::Design& design = *design_;
+  const double site = design.site_width();
+  const double core_lx = design.core().lx;
+
+  // Per-segment fill tails, aligned with rows.segments(r).
+  std::vector<std::vector<double>> tails(rows.num_rows());
+  for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+    for (const Segment& s : rows.segments(r)) {
+      // Tails start at the first site boundary inside the segment.
+      tails[r].push_back(core_lx +
+                         std::ceil((s.lx - core_lx) / site - 1e-9) * site);
+    }
+  }
+
+  std::vector<CellId> order = cells;
+  std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+    return pl[a].x - nl_->cell_width(a) / 2.0 <
+           pl[b].x - nl_->cell_width(b) / 2.0;
+  });
+
+  for (CellId c : order) {
+    const double w = nl_->cell_width(c);
+    const double h = nl_->cell_height(c);
+    const double want_lx = pl[c].x - w / 2.0;
+    const double want_ly = pl[c].y - h / 2.0;
+
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_row = 0, best_seg = 0;
+    double best_x = 0.0;
+
+    for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+      const double dy = design.row(r).y - want_ly;
+      if (dy * dy >= best_cost) continue;
+      const auto& segs = rows.segments(r);
+      for (std::size_t si = 0; si < segs.size(); ++si) {
+        const double tail = tails[r][si];
+        const double limit = segs[si].hx - w;
+        if (tail > limit + 1e-9) continue;  // cell does not fit
+        // Desired x snapped down to the site grid, clamped to [tail, limit].
+        double x = core_lx + std::floor((want_lx - core_lx) / site + 0.5) * site;
+        x = std::clamp(x, tail, core_lx +
+                                    std::floor((limit - core_lx) / site + 1e-9) *
+                                        site);
+        const double dx = x - want_lx;
+        const double cost = dx * dx + dy * dy;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_row = r;
+          best_seg = si;
+          best_x = x;
+        }
+      }
+    }
+
+    if (!std::isfinite(best_cost)) {
+      ++stats.cells_failed;
+      if (failed != nullptr) failed->push_back(c);
+      continue;
+    }
+    tails[best_row][best_seg] = best_x + w;
+    const double new_cx = best_x + w / 2.0;
+    const double new_cy = design.row(best_row).y + h / 2.0;
+    stats.record(new_cx - pl[c].x, new_cy - pl[c].y);
+    pl[c] = {new_cx, new_cy};
+  }
+  return stats;
+}
+
+LegalizeStats TetrisLegalizer::run_all(netlist::Placement& pl) {
+  std::vector<CellId> cells;
+  for (CellId c = 0; c < nl_->num_cells(); ++c) {
+    if (!nl_->cell(c).fixed) cells.push_back(c);
+  }
+  RowMap rows(*design_);
+  return run(pl, cells, rows);
+}
+
+}  // namespace dp::legal

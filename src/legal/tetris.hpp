@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "legal/legalizer.hpp"
+#include "legal/rowmap.hpp"
+
+namespace dp::legal {
+
+/// Greedy Tetris legalization over a free-space RowMap.
+///
+/// Cells are processed in order of their desired left edge; each is packed
+/// into the row segment minimizing squared displacement. Supports arbitrary
+/// blocked regions (fixed macros, pre-placed datapath slices), which is what
+/// the structure-preserving flow needs.
+class TetrisLegalizer {
+ public:
+  TetrisLegalizer(const netlist::Netlist& nl, const netlist::Design& design);
+
+  /// Legalize `cells` (centers in `pl` are desired positions, updated in
+  /// place to legal positions). `rows` provides the available free space;
+  /// space consumed by placed cells is NOT re-blocked in `rows` (a
+  /// per-segment fill tail is used instead), so pass a fresh RowMap per run.
+  /// Cells that could not be placed are appended to `failed` if given
+  /// (their positions are left untouched).
+  LegalizeStats run(netlist::Placement& pl,
+                    const std::vector<netlist::CellId>& cells, RowMap& rows,
+                    std::vector<netlist::CellId>* failed = nullptr);
+
+  /// Convenience: legalize all movable cells on an empty (obstacle-free)
+  /// row map.
+  LegalizeStats run_all(netlist::Placement& pl);
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::Design* design_;
+};
+
+}  // namespace dp::legal

@@ -1,0 +1,378 @@
+#include "netlist/bookshelf.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dp::netlist {
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("bookshelf: cannot write " + path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("bookshelf: cannot read " + path);
+  return in;
+}
+
+/// Strip comments and return whether any tokens remain.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r\n") != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_bookshelf(const std::string& basename, const Netlist& netlist,
+                     const Design& design, const Placement& placement) {
+  {  // .aux references sibling files by bare name, per the format.
+    const auto slash = basename.find_last_of('/');
+    const std::string stem =
+        slash == std::string::npos ? basename : basename.substr(slash + 1);
+    auto out = open_out(basename + ".aux");
+    out << "RowBasedPlacement : " << stem << ".nodes " << stem << ".nets "
+        << stem << ".pl " << stem << ".scl\n";
+  }
+  {  // .nodes
+    auto out = open_out(basename + ".nodes");
+    out << "UCLA nodes 1.0\n";
+    std::size_t terminals = 0;
+    for (const Cell& c : netlist.cells()) terminals += c.fixed ? 1u : 0u;
+    out << "NumNodes : " << netlist.num_cells() << "\n";
+    out << "NumTerminals : " << terminals << "\n";
+    for (CellId c = 0; c < netlist.num_cells(); ++c) {
+      out << "  " << netlist.cell(c).name << " " << netlist.cell_width(c)
+          << " " << netlist.cell_height(c)
+          << (netlist.cell(c).fixed ? " terminal" : "") << "\n";
+    }
+  }
+  {  // .nets
+    auto out = open_out(basename + ".nets");
+    out << "UCLA nets 1.0\n";
+    out << "NumNets : " << netlist.num_nets() << "\n";
+    out << "NumPins : " << netlist.num_pins() << "\n";
+    for (NetId n = 0; n < netlist.num_nets(); ++n) {
+      const Net& net = netlist.net(n);
+      out << "NetDegree : " << net.pins.size() << " " << net.name << "\n";
+      for (PinId p : net.pins) {
+        const Pin& pin = netlist.pin(p);
+        out << "  " << netlist.cell(pin.cell).name << " "
+            << (pin.dir == PinDir::kOutput ? "O" : "I") << " : "
+            << pin.offset_x << " " << pin.offset_y << "\n";
+      }
+    }
+  }
+  {  // .pl — lower-left corners per the format convention.
+    auto out = open_out(basename + ".pl");
+    out << "UCLA pl 1.0\n";
+    for (CellId c = 0; c < netlist.num_cells(); ++c) {
+      const double lx = placement[c].x - netlist.cell_width(c) / 2.0;
+      const double ly = placement[c].y - netlist.cell_height(c) / 2.0;
+      out << netlist.cell(c).name << " " << lx << " " << ly << " : N"
+          << (netlist.cell(c).fixed ? " /FIXED" : "") << "\n";
+    }
+  }
+  {  // .scl
+    auto out = open_out(basename + ".scl");
+    out << "UCLA scl 1.0\n";
+    out << "NumRows : " << design.num_rows() << "\n";
+    for (std::size_t r = 0; r < design.num_rows(); ++r) {
+      const Row& row = design.row(r);
+      const auto sites = static_cast<long long>(
+          std::floor((row.hx - row.lx) / design.site_width()));
+      out << "CoreRow Horizontal\n";
+      out << "  Coordinate : " << row.y << "\n";
+      out << "  Height : " << design.row_height() << "\n";
+      out << "  Sitewidth : " << design.site_width() << "\n";
+      out << "  Sitespacing : " << design.site_width() << "\n";
+      out << "  SubrowOrigin : " << row.lx << " NumSites : " << sites << "\n";
+      out << "End\n";
+    }
+  }
+}
+
+BookshelfDesign read_bookshelf(const std::string& aux_path) {
+  std::string nodes_path, nets_path, pl_path, scl_path;
+  {
+    auto in = open_in(aux_path);
+    std::string line;
+    if (!next_content_line(in, line)) {
+      throw std::runtime_error("bookshelf: empty aux file");
+    }
+    std::istringstream ls(line);
+    std::string tag, colon;
+    ls >> tag >> colon;
+    std::string file;
+    const auto dir_end = aux_path.find_last_of('/');
+    const std::string dir =
+        dir_end == std::string::npos ? "" : aux_path.substr(0, dir_end + 1);
+    while (ls >> file) {
+      const std::string path = dir + file;
+      if (file.ends_with(".nodes")) nodes_path = path;
+      else if (file.ends_with(".nets")) nets_path = path;
+      else if (file.ends_with(".pl")) pl_path = path;
+      else if (file.ends_with(".scl")) scl_path = path;
+    }
+    if (nodes_path.empty() || nets_path.empty() || pl_path.empty() ||
+        scl_path.empty()) {
+      throw std::runtime_error("bookshelf: aux file missing sections");
+    }
+  }
+
+  // Pass 1: node records; the library must be complete before the Netlist
+  // is built, so nodes are staged first.
+  struct RawNode {
+    std::string name;
+    double w = 0.0, h = 0.0;
+    bool terminal = false;
+  };
+  std::vector<RawNode> raw_nodes;
+  {
+    auto in = open_in(nodes_path);
+    std::string line;
+    while (next_content_line(in, line)) {
+      std::istringstream ls(line);
+      std::string first;
+      ls >> first;
+      if (first == "UCLA" || first == "NumNodes" || first == "NumTerminals") {
+        continue;
+      }
+      RawNode r;
+      r.name = first;
+      if (!(ls >> r.w >> r.h)) {
+        throw std::runtime_error("bookshelf: bad node line: " + line);
+      }
+      std::string tail;
+      ls >> tail;
+      r.terminal = (tail == "terminal");
+      raw_nodes.push_back(std::move(r));
+    }
+  }
+
+  // One generic type per distinct (width, height). Pin offsets come from
+  // the .nets file, so the type's pin bank carries zero offsets.
+  auto library = std::make_shared<Library>();
+  std::unordered_map<long long, CellTypeId> type_by_size;
+  auto size_key = [](double w, double h) {
+    return static_cast<long long>(std::llround(w * 1e6)) * 1000003LL +
+           static_cast<long long>(std::llround(h * 1e6));
+  };
+  for (const RawNode& r : raw_nodes) {
+    const long long key = size_key(r.w, r.h);
+    if (type_by_size.contains(key)) continue;
+    CellType t;
+    t.name = "GEN_" + std::to_string(type_by_size.size());
+    t.func = CellFunc::kGeneric;
+    t.width = r.w;
+    t.height = r.h;
+    type_by_size.emplace(key, library->add(std::move(t)));
+  }
+
+  NetlistBuilder builder{std::shared_ptr<const Library>(library)};
+  struct NodeRec {
+    CellId cell = kInvalidId;
+    std::uint16_t next_port = 0;
+  };
+  std::unordered_map<std::string, NodeRec> by_name;
+  by_name.reserve(raw_nodes.size());
+  for (const RawNode& r : raw_nodes) {
+    const CellId id = builder.add_cell(
+        r.name, type_by_size.at(size_key(r.w, r.h)), r.terminal);
+    by_name.emplace(r.name, NodeRec{id, 0});
+  }
+
+  // Pass 2: nets. Ports are appended to generic types on demand; since the
+  // shared Library is owned by this reader until take(), extending its pin
+  // banks before any connect() that uses them keeps indices valid.
+  struct PendingOffset {
+    PinId pin;
+    double x, y;
+  };
+  std::vector<PendingOffset> offsets;
+  {
+    auto in = open_in(nets_path);
+    std::string line;
+    NetId current = kInvalidId;
+    std::size_t net_count = 0;
+    while (next_content_line(in, line)) {
+      std::istringstream ls(line);
+      std::string first;
+      ls >> first;
+      if (first == "UCLA" || first == "NumNets" || first == "NumPins") {
+        continue;
+      }
+      if (first == "NetDegree") {
+        std::string colon, name;
+        std::size_t degree = 0;
+        ls >> colon >> degree >> name;
+        if (name.empty()) name = "net_" + std::to_string(net_count);
+        current = builder.add_net(name);
+        ++net_count;
+        continue;
+      }
+      if (current == kInvalidId) {
+        throw std::runtime_error("bookshelf: pin before NetDegree");
+      }
+      auto it = by_name.find(first);
+      if (it == by_name.end()) {
+        throw std::runtime_error("bookshelf: pin on unknown node " + first);
+      }
+      std::string dir, colon;
+      double ox = 0.0, oy = 0.0;
+      ls >> dir >> colon >> ox >> oy;
+      NodeRec& rec = it->second;
+      // Grow the generic type's pin bank if this instance needs more ports.
+      const CellTypeId tid = builder.peek().cell(rec.cell).type;
+      CellType& type = library->mutable_type(tid);
+      while (type.pins.size() <= rec.next_port) {
+        type.pins.push_back({"P" + std::to_string(type.pins.size()),
+                             PinDir::kInput, 0.0, 0.0});
+      }
+      type.pins[rec.next_port].dir =
+          (dir == "O") ? PinDir::kOutput : PinDir::kInput;
+      const PinId pin = builder.connect(rec.cell, rec.next_port++, current);
+      offsets.push_back({pin, ox, oy});
+    }
+  }
+
+  Netlist netlist = builder.take();
+  for (const PendingOffset& o : offsets) {
+    netlist.set_pin_offset(o.pin, o.x, o.y);
+  }
+
+  // Pass 3: .scl rows.
+  Design design;
+  {
+    auto in = open_in(scl_path);
+    std::string line;
+    double row_height = 1.0, site_width = 1.0;
+    double y = 0.0, origin = 0.0;
+    double sites = 0.0;
+    geom::Rect core;
+    bool have_row = false;
+    while (next_content_line(in, line)) {
+      std::istringstream ls(line);
+      std::string first;
+      ls >> first;
+      std::string colon;
+      if (first == "Coordinate") {
+        ls >> colon >> y;
+      } else if (first == "Height") {
+        ls >> colon >> row_height;
+      } else if (first == "Sitewidth") {
+        ls >> colon >> site_width;
+      } else if (first == "SubrowOrigin") {
+        std::string numsites;
+        ls >> colon >> origin >> numsites >> colon >> sites;
+        have_row = true;
+        core.expand(geom::Point{origin, y});
+        core.expand(geom::Point{origin + sites * site_width, y + row_height});
+      }
+    }
+    if (!have_row) throw std::runtime_error("bookshelf: scl has no rows");
+    design = Design(core, row_height, site_width);
+  }
+
+  // Pass 4: .pl positions (convert lower-left corners to centers).
+  Placement placement(netlist.num_cells());
+  {
+    auto in = open_in(pl_path);
+    std::string line;
+    while (next_content_line(in, line)) {
+      std::istringstream ls(line);
+      std::string name;
+      ls >> name;
+      if (name == "UCLA") continue;
+      double lx = 0.0, ly = 0.0;
+      if (!(ls >> lx >> ly)) continue;
+      auto it = by_name.find(name);
+      if (it == by_name.end()) continue;
+      const CellId c = it->second.cell;
+      placement[c] = {lx + netlist.cell_width(c) / 2.0,
+                      ly + netlist.cell_height(c) / 2.0};
+    }
+  }
+
+  return BookshelfDesign{std::move(library), std::move(netlist),
+                         std::move(design), std::move(placement)};
+}
+
+void write_groups(const std::string& path, const Netlist& netlist,
+                  const StructureAnnotation& annotation) {
+  auto out = open_out(path);
+  out << "# dpplace structure groups\n";
+  for (const auto& g : annotation.groups) {
+    out << "group " << g.name << " " << g.bits << " " << g.stages << " "
+        << g.confidence << "\n";
+    for (std::size_t b = 0; b < g.bits; ++b) {
+      out << " ";
+      for (std::size_t s = 0; s < g.stages; ++s) {
+        const CellId c = g.at(b, s);
+        out << " "
+            << (c == kInvalidId ? std::string("-") : netlist.cell(c).name);
+      }
+      out << "\n";
+    }
+  }
+}
+
+StructureAnnotation read_groups(const std::string& path,
+                                const Netlist& netlist) {
+  std::unordered_map<std::string, CellId> by_name;
+  for (CellId c = 0; c < netlist.num_cells(); ++c) {
+    by_name.emplace(netlist.cell(c).name, c);
+  }
+  auto in = open_in(path);
+  StructureAnnotation ann;
+  std::string line;
+  StructureGroup* current = nullptr;
+  std::size_t bit = 0;
+  while (next_content_line(in, line)) {
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    if (first == "group") {
+      std::string name;
+      std::size_t bits = 0, stages = 0;
+      double conf = 1.0;
+      ls >> name >> bits >> stages >> conf;
+      ann.groups.push_back(StructureGroup::make(name, bits, stages));
+      ann.groups.back().confidence = conf;
+      current = &ann.groups.back();
+      bit = 0;
+      continue;
+    }
+    if (current == nullptr || bit >= current->bits) {
+      throw std::runtime_error("groups: row outside any group");
+    }
+    std::string tok = first;
+    for (std::size_t s = 0; s < current->stages; ++s) {
+      if (s > 0 && !(ls >> tok)) {
+        throw std::runtime_error("groups: short bit row");
+      }
+      if (tok != "-") {
+        auto it = by_name.find(tok);
+        if (it == by_name.end()) {
+          throw std::runtime_error("groups: unknown cell " + tok);
+        }
+        current->at(bit, s) = it->second;
+      }
+    }
+    ++bit;
+  }
+  return ann;
+}
+
+}  // namespace dp::netlist

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netlist/design.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/structure.hpp"
+
+namespace dp::netlist {
+
+/// A complete placement problem as stored on disk.
+struct BookshelfDesign {
+  /// Owns the generic types referenced by `netlist` (which shares it).
+  std::shared_ptr<const Library> library;
+  Netlist netlist;
+  Design design;
+  Placement placement;
+};
+
+/// Writes `basename.nodes/.nets/.pl/.scl/.aux` in the GSRC Bookshelf
+/// subset used by the ISPD placement contests. Fixed cells are emitted as
+/// terminals. Coordinates written are cell lower-left corners, per the
+/// format convention.
+void write_bookshelf(const std::string& basename, const Netlist& netlist,
+                     const Design& design, const Placement& placement);
+
+/// Reads a Bookshelf design written by write_bookshelf (or any design in
+/// the same subset of the format). Cell functions are kGeneric since the
+/// format carries no logic information.
+BookshelfDesign read_bookshelf(const std::string& aux_path);
+
+/// Sidecar format for structure annotations:
+///   group <name> <bits> <stages>
+///   <bits*stages cell names row-major, "-" for holes>
+void write_groups(const std::string& path, const Netlist& netlist,
+                  const StructureAnnotation& annotation);
+
+StructureAnnotation read_groups(const std::string& path,
+                                const Netlist& netlist);
+
+}  // namespace dp::netlist

@@ -1,0 +1,121 @@
+#include "netlist/library.hpp"
+
+#include <stdexcept>
+
+namespace dp::netlist {
+
+const char* to_string(CellFunc func) {
+  switch (func) {
+    case CellFunc::kInv: return "INV";
+    case CellFunc::kBuf: return "BUF";
+    case CellFunc::kNand2: return "NAND2";
+    case CellFunc::kNor2: return "NOR2";
+    case CellFunc::kAnd2: return "AND2";
+    case CellFunc::kOr2: return "OR2";
+    case CellFunc::kXor2: return "XOR2";
+    case CellFunc::kXnor2: return "XNOR2";
+    case CellFunc::kAnd3: return "AND3";
+    case CellFunc::kOr3: return "OR3";
+    case CellFunc::kNand3: return "NAND3";
+    case CellFunc::kNor3: return "NOR3";
+    case CellFunc::kAoi21: return "AOI21";
+    case CellFunc::kOai21: return "OAI21";
+    case CellFunc::kMux2: return "MUX2";
+    case CellFunc::kHalfAdder: return "HA";
+    case CellFunc::kFullAdder: return "FA";
+    case CellFunc::kDff: return "DFF";
+    case CellFunc::kPad: return "PAD";
+    case CellFunc::kGeneric: return "GENERIC";
+  }
+  return "?";
+}
+
+CellTypeId Library::add(CellType type) {
+  types_.push_back(std::move(type));
+  return static_cast<CellTypeId>(types_.size() - 1);
+}
+
+CellTypeId Library::by_func(CellFunc func) const {
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].func == func) return static_cast<CellTypeId>(i);
+  }
+  throw std::out_of_range("Library::by_func: no such function");
+}
+
+namespace {
+
+CellType make_type(CellFunc func, int width_sites,
+                   std::vector<std::string> inputs, std::string output) {
+  CellType t;
+  t.name = to_string(func);
+  t.func = func;
+  t.width = width_sites * kSiteWidth;
+  t.height = kRowHeight;
+
+  const std::size_t npins = inputs.size() + (output.empty() ? 0u : 1u);
+  std::size_t k = 0;
+  auto offset_x = [&](std::size_t i) {
+    // Pins evenly spread along the cell width, relative to the center.
+    return t.width * (static_cast<double>(i) + 1.0) /
+               (static_cast<double>(npins) + 1.0) -
+           t.width / 2.0;
+  };
+  for (auto& in : inputs) {
+    t.pins.push_back({std::move(in), PinDir::kInput, offset_x(k++), 0.0});
+  }
+  if (!output.empty()) {
+    t.output_pin = static_cast<int>(t.pins.size());
+    t.pins.push_back({std::move(output), PinDir::kOutput, offset_x(k++), 0.0});
+  }
+  return t;
+}
+
+Library build_standard_library() {
+  Library lib;
+  lib.add(make_type(CellFunc::kInv, 3, {"A"}, "Y"));
+  lib.add(make_type(CellFunc::kBuf, 3, {"A"}, "Y"));
+  lib.add(make_type(CellFunc::kNand2, 4, {"A", "B"}, "Y"));
+  lib.add(make_type(CellFunc::kNor2, 4, {"A", "B"}, "Y"));
+  lib.add(make_type(CellFunc::kAnd2, 5, {"A", "B"}, "Y"));
+  lib.add(make_type(CellFunc::kOr2, 5, {"A", "B"}, "Y"));
+  lib.add(make_type(CellFunc::kXor2, 6, {"A", "B"}, "Y"));
+  lib.add(make_type(CellFunc::kXnor2, 6, {"A", "B"}, "Y"));
+  lib.add(make_type(CellFunc::kAnd3, 6, {"A", "B", "C"}, "Y"));
+  lib.add(make_type(CellFunc::kOr3, 6, {"A", "B", "C"}, "Y"));
+  lib.add(make_type(CellFunc::kNand3, 5, {"A", "B", "C"}, "Y"));
+  lib.add(make_type(CellFunc::kNor3, 5, {"A", "B", "C"}, "Y"));
+  lib.add(make_type(CellFunc::kAoi21, 6, {"A", "B", "C"}, "Y"));
+  lib.add(make_type(CellFunc::kOai21, 6, {"A", "B", "C"}, "Y"));
+  lib.add(make_type(CellFunc::kMux2, 7, {"A", "B", "S"}, "Y"));
+  lib.add(make_type(CellFunc::kHalfAdder, 8, {"A", "B"}, "S"));
+  // The full adder has two outputs in silicon; we model CO as a second
+  // "input-class" port so every type keeps a single canonical output (S),
+  // which simplifies fan-out traversal. Direction is still kOutput.
+  {
+    CellType fa = make_type(CellFunc::kFullAdder, 10, {"A", "B", "CI"}, "S");
+    fa.pins.push_back(
+        {"CO", PinDir::kOutput, fa.width * 0.4, 0.0});
+    lib.add(std::move(fa));
+  }
+  lib.add(make_type(CellFunc::kDff, 9, {"D"}, "Q"));
+  // PAD: fixed I/O terminal; square, one bidirectional pin at the center.
+  {
+    CellType pad;
+    pad.name = to_string(CellFunc::kPad);
+    pad.func = CellFunc::kPad;
+    pad.width = 4 * kSiteWidth;
+    pad.height = kRowHeight;
+    pad.pins.push_back({"P", PinDir::kInput, 0.0, 0.0});
+    lib.add(std::move(pad));
+  }
+  return lib;
+}
+
+}  // namespace
+
+const Library& standard_library() {
+  static const Library lib = build_standard_library();
+  return lib;
+}
+
+}  // namespace dp::netlist

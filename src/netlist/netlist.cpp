@@ -1,0 +1,97 @@
+#include "netlist/netlist.hpp"
+
+#include <stdexcept>
+
+namespace dp::netlist {
+
+PinId Netlist::driver(NetId id) const {
+  for (PinId p : nets_[id].pins) {
+    if (pins_[p].dir == PinDir::kOutput) return p;
+  }
+  return kInvalidId;
+}
+
+double Netlist::movable_area() const {
+  double area = 0.0;
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    if (!cells_[c].fixed) area += cell_area(c);
+  }
+  return area;
+}
+
+std::size_t Netlist::num_movable() const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_) {
+    if (!c.fixed) ++n;
+  }
+  return n;
+}
+
+CellId NetlistBuilder::add_cell(std::string name, CellTypeId type,
+                                bool fixed) {
+  Cell c;
+  c.name = std::move(name);
+  c.type = type;
+  c.fixed = fixed;
+  netlist_.cells_.push_back(std::move(c));
+  return static_cast<CellId>(netlist_.cells_.size() - 1);
+}
+
+CellId NetlistBuilder::add_cell(std::string name, CellFunc func, bool fixed) {
+  return add_cell(std::move(name), netlist_.library().by_func(func), fixed);
+}
+
+NetId NetlistBuilder::add_net(std::string name, double weight) {
+  Net n;
+  n.name = std::move(name);
+  n.weight = weight;
+  netlist_.nets_.push_back(std::move(n));
+  return static_cast<NetId>(netlist_.nets_.size() - 1);
+}
+
+PinId NetlistBuilder::connect(CellId cell, std::uint16_t port, NetId net) {
+  const CellType& type = netlist_.cell_type(cell);
+  if (port >= type.pins.size()) {
+    throw std::out_of_range("NetlistBuilder::connect: bad port index");
+  }
+  for (PinId existing : netlist_.cells_[cell].pins) {
+    if (netlist_.pins_[existing].port == port) {
+      throw std::logic_error("NetlistBuilder::connect: port already bound on " +
+                             netlist_.cells_[cell].name);
+    }
+  }
+  const PinSpec& spec = type.pins[port];
+  Pin p;
+  p.cell = cell;
+  p.net = net;
+  p.dir = spec.dir;
+  p.offset_x = spec.offset_x;
+  p.offset_y = spec.offset_y;
+  p.port = port;
+  netlist_.pins_.push_back(p);
+  const auto pin_id = static_cast<PinId>(netlist_.pins_.size() - 1);
+  netlist_.cells_[cell].pins.push_back(pin_id);
+  netlist_.nets_[net].pins.push_back(pin_id);
+  return pin_id;
+}
+
+PinId NetlistBuilder::connect_dir(CellId cell, std::uint16_t port, NetId net,
+                                  PinDir dir) {
+  const PinId id = connect(cell, port, net);
+  netlist_.pins_[id].dir = dir;
+  return id;
+}
+
+PinId NetlistBuilder::connect(CellId cell, const std::string& port_name,
+                              NetId net) {
+  const CellType& type = netlist_.cell_type(cell);
+  for (std::size_t i = 0; i < type.pins.size(); ++i) {
+    if (type.pins[i].name == port_name) {
+      return connect(cell, static_cast<std::uint16_t>(i), net);
+    }
+  }
+  throw std::out_of_range("NetlistBuilder::connect: no port named " +
+                          port_name + " on type " + type.name);
+}
+
+}  // namespace dp::netlist

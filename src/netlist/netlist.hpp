@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "netlist/library.hpp"
+
+namespace dp::netlist {
+
+using CellId = std::uint32_t;
+using NetId = std::uint32_t;
+using PinId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// A cell instance. Geometry comes from its CellType; position lives in a
+/// separate Placement vector so optimizers can treat coordinates as dense
+/// arrays.
+struct Cell {
+  std::string name;
+  CellTypeId type = 0;
+  bool fixed = false;
+  std::vector<PinId> pins;
+};
+
+/// A pin instance: the junction between one cell and one net.
+struct Pin {
+  CellId cell = kInvalidId;
+  NetId net = kInvalidId;
+  PinDir dir = PinDir::kInput;
+  /// Offset from the cell center, copied from the PinSpec at creation.
+  double offset_x = 0.0;
+  double offset_y = 0.0;
+  /// Index of the pin within its cell type (the "port"); extraction keys
+  /// fan-out traversal on this.
+  std::uint16_t port = 0;
+};
+
+/// A signal net connecting two or more pins.
+struct Net {
+  std::string name;
+  double weight = 1.0;
+  std::vector<PinId> pins;
+};
+
+/// Cell positions (centers), indexed by CellId.
+using Placement = std::vector<geom::Point>;
+
+/// The flat gate-level netlist: a pin-based hypergraph over a Library.
+///
+/// Topology is append-only: cells/nets/pins are created through
+/// NetlistBuilder (or the Bookshelf reader) and never removed, so all ids
+/// stay stable for the lifetime of the netlist.
+class Netlist {
+ public:
+  /// Non-owning: `library` must outlive the netlist (e.g. the static
+  /// standard_library()).
+  explicit Netlist(const Library& library)
+      : library_(&library, [](const Library*) {}) {}
+
+  /// Owning: the netlist shares ownership of a dynamically built library
+  /// (e.g. from the Bookshelf reader).
+  explicit Netlist(std::shared_ptr<const Library> library)
+      : library_(std::move(library)) {}
+
+  const Library& library() const { return *library_; }
+
+  const Cell& cell(CellId id) const { return cells_[id]; }
+  const Net& net(NetId id) const { return nets_[id]; }
+  const Pin& pin(PinId id) const { return pins_[id]; }
+
+  std::size_t num_cells() const { return cells_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+  std::size_t num_pins() const { return pins_.size(); }
+
+  std::span<const Cell> cells() const { return cells_; }
+  std::span<const Net> nets() const { return nets_; }
+  std::span<const Pin> pins() const { return pins_; }
+
+  const CellType& cell_type(CellId id) const {
+    return library_->type(cells_[id].type);
+  }
+  double cell_width(CellId id) const { return cell_type(id).width; }
+  double cell_height(CellId id) const { return cell_type(id).height; }
+  double cell_area(CellId id) const {
+    const auto& t = cell_type(id);
+    return t.width * t.height;
+  }
+
+  /// Absolute position of a pin given a placement of cell centers.
+  geom::Point pin_position(PinId id, const Placement& pl) const {
+    const Pin& p = pins_[id];
+    return {pl[p.cell].x + p.offset_x, pl[p.cell].y + p.offset_y};
+  }
+
+  /// Driver pin of a net (first output-direction pin), or kInvalidId.
+  PinId driver(NetId id) const;
+
+  /// Total area of movable cells.
+  double movable_area() const;
+
+  /// Number of movable (non-fixed) cells.
+  std::size_t num_movable() const;
+
+  /// Override a pin's offset from its cell center. Needed by file readers
+  /// whose formats carry per-instance (not per-type) pin offsets.
+  void set_pin_offset(PinId id, double offset_x, double offset_y) {
+    pins_[id].offset_x = offset_x;
+    pins_[id].offset_y = offset_y;
+  }
+
+ private:
+  friend class NetlistBuilder;
+
+  std::shared_ptr<const Library> library_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<Pin> pins_;
+};
+
+/// Incrementally constructs a Netlist. Used by the benchmark generator and
+/// the Bookshelf reader.
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(const Library& library) : netlist_(library) {}
+  explicit NetlistBuilder(std::shared_ptr<const Library> library)
+      : netlist_(std::move(library)) {}
+
+  CellId add_cell(std::string name, CellTypeId type, bool fixed = false);
+  CellId add_cell(std::string name, CellFunc func, bool fixed = false);
+
+  NetId add_net(std::string name, double weight = 1.0);
+
+  /// Connect pin `port` (index into the cell type's pin list) of `cell`
+  /// to `net`. Each cell port may be connected at most once.
+  PinId connect(CellId cell, std::uint16_t port, NetId net);
+
+  /// Connect by port name (slower; used by readers and tests).
+  PinId connect(CellId cell, const std::string& port_name, NetId net);
+
+  /// Connect with an explicit direction override. Used for PAD instances,
+  /// whose single pin acts as a driver on input pads and a sink on output
+  /// pads.
+  PinId connect_dir(CellId cell, std::uint16_t port, NetId net, PinDir dir);
+
+  const Netlist& peek() const { return netlist_; }
+  std::size_t num_cells() const { return netlist_.num_cells(); }
+
+  /// Finalize. The builder must not be used afterwards.
+  Netlist take() { return std::move(netlist_); }
+
+ private:
+  Netlist netlist_;
+};
+
+}  // namespace dp::netlist

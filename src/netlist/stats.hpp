@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+#include "netlist/structure.hpp"
+
+namespace dp::netlist {
+
+/// Aggregate netlist statistics (reconstructed Table 1 of the paper).
+struct NetlistStats {
+  std::size_t num_cells = 0;
+  std::size_t num_movable = 0;
+  std::size_t num_fixed = 0;
+  std::size_t num_nets = 0;
+  std::size_t num_pins = 0;
+  double avg_net_degree = 0.0;
+  std::size_t max_net_degree = 0;
+  double movable_area = 0.0;
+  /// Datapath annotation coverage.
+  std::size_t num_groups = 0;
+  std::size_t datapath_cells = 0;
+  double datapath_fraction = 0.0;  ///< datapath cells / movable cells
+};
+
+NetlistStats compute_stats(const Netlist& netlist,
+                           const StructureAnnotation* truth = nullptr);
+
+}  // namespace dp::netlist

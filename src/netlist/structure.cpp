@@ -1,0 +1,66 @@
+#include "netlist/structure.hpp"
+
+namespace dp::netlist {
+
+std::size_t StructureGroup::num_cells() const {
+  std::size_t n = 0;
+  for (CellId c : cells) {
+    if (c != kInvalidId) ++n;
+  }
+  return n;
+}
+
+std::vector<CellId> StructureGroup::slice(std::size_t bit) const {
+  std::vector<CellId> out;
+  out.reserve(stages);
+  for (std::size_t s = 0; s < stages; ++s) {
+    const CellId c = at(bit, s);
+    if (c != kInvalidId) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<CellId> StructureGroup::stage(std::size_t s) const {
+  std::vector<CellId> out;
+  out.reserve(bits);
+  for (std::size_t b = 0; b < bits; ++b) {
+    const CellId c = at(b, s);
+    if (c != kInvalidId) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::vector<CellId>> row_lanes(const StructureGroup& group,
+                                           bool bits_along_y) {
+  std::vector<std::vector<CellId>> lanes;
+  const std::size_t n = bits_along_y ? group.bits : group.stages;
+  lanes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lanes.push_back(bits_along_y ? group.slice(i) : group.stage(i));
+  }
+  return lanes;
+}
+
+std::size_t StructureAnnotation::total_cells() const {
+  std::size_t n = 0;
+  for (const auto& g : groups) n += g.num_cells();
+  return n;
+}
+
+bool StructureAnnotation::covers(CellId cell,
+                                 std::size_t num_cells_in_netlist) const {
+  return membership(num_cells_in_netlist)[cell];
+}
+
+std::vector<bool> StructureAnnotation::membership(
+    std::size_t num_cells_in_netlist) const {
+  std::vector<bool> in(num_cells_in_netlist, false);
+  for (const auto& g : groups) {
+    for (CellId c : g.cells) {
+      if (c != kInvalidId) in[c] = true;
+    }
+  }
+  return in;
+}
+
+}  // namespace dp::netlist

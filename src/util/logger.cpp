@@ -1,0 +1,51 @@
+#include "util/logger.hpp"
+
+#include <cstdio>
+
+namespace dp::util {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void Logger::vlog(LogLevel level, const char* tag, const char* fmt,
+                  std::va_list args) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] ", tag);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+void Logger::debug(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kDebug, "debug", fmt, args);
+  va_end(args);
+}
+
+void Logger::info(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kInfo, "info ", fmt, args);
+  va_end(args);
+}
+
+void Logger::warn(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kWarn, "warn ", fmt, args);
+  va_end(args);
+}
+
+void Logger::error(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kError, "error", fmt, args);
+  va_end(args);
+}
+
+}  // namespace dp::util

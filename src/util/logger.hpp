@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace dp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+/// Minimal global logger. The placer and extractor report progress through
+/// this; tests and benchmarks raise the threshold to keep output clean.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  static void debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+  static void info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+  static void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+  static void error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+ private:
+  static void vlog(LogLevel level, const char* tag, const char* fmt,
+                   std::va_list args);
+};
+
+/// RAII guard that silences (or changes) the log level within a scope.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : saved_(Logger::level()) {
+    Logger::set_level(level);
+  }
+  ~ScopedLogLevel() { Logger::set_level(saved_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel saved_;
+};
+
+}  // namespace dp::util

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dp::util {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**).
+///
+/// All randomized algorithms in the library take a seed (or an Rng&) so
+/// that every experiment in the repository is exactly reproducible.
+/// Satisfies the essentials of UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Reset the state from a single 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer index in [0, n) as std::size_t.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(below(static_cast<std::uint64_t>(n)));
+  }
+
+  /// Approximately standard-normal variate (sum of uniforms is adequate
+  /// for the placement perturbations used here; no tail precision needed).
+  double gauss() {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += uniform();
+    return s - 6.0;
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Fisher-Yates shuffle using our deterministic Rng.
+template <typename Container>
+void shuffle(Container& c, Rng& rng) {
+  const std::size_t n = c.size();
+  if (n < 2) return;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = rng.index(i + 1);
+    using std::swap;
+    swap(c[i], c[j]);
+  }
+}
+
+}  // namespace dp::util

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dp::util {
+
+/// Summary statistics over a sample; used by the benchmark harnesses and by
+/// the extractor's regularity scoring.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stdev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(std::span<const double> xs);
+
+/// Population variance; 0 for samples of size < 2.
+double variance(std::span<const double> xs);
+
+/// Geometric mean; requires strictly positive values, 0 for empty input.
+double geomean(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace dp::util

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <chrono>
+
+namespace dp::util {
+
+/// Wall-clock stopwatch used by the benchmark harnesses and the placer's
+/// per-stage runtime reporting.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dp::util

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "core/alignment.hpp"
+#include "core/overlap.hpp"
+#include "core/partition.hpp"
+#include "dpgen/benchmarks.hpp"
+#include "util/prng.hpp"
+
+namespace dp::core {
+namespace {
+
+using netlist::CellId;
+using netlist::Placement;
+
+struct AdderFixture {
+  AdderFixture() {
+    dpgen::Generator gen("t", 33);
+    auto a = gen.input_bus("a", 8);
+    auto b = gen.input_bus("b", 8);
+    gen.add_pipelined_adder("add", a, b, 2);
+    bench.emplace(gen.finish());
+  }
+
+  /// Perfectly aligned placement of the first group: bit b on row b,
+  /// stage s at a fixed column, pitch-separated.
+  Placement aligned() const {
+    Placement pl = bench->placement;
+    const auto& g = bench->truth.groups[0];
+    const auto& design = bench->design;
+    for (std::size_t bit = 0; bit < g.bits; ++bit) {
+      double x = design.core().lx + 1.0;
+      for (std::size_t s = 0; s < g.stages; ++s) {
+        const CellId c = g.at(bit, s);
+        if (c != netlist::kInvalidId) {
+          pl[c] = {x, design.row(bit).y + design.row_height() / 2.0};
+        }
+        x += 3.0;
+      }
+    }
+    return pl;
+  }
+
+  std::optional<dpgen::Benchmark> bench;
+};
+
+TEST(AlignmentPenalty, ZeroOnPerfectlyAlignedPitchedArray) {
+  AdderFixture f;
+  AlignmentPenalty term(f.bench->netlist, f.bench->truth, f.bench->design);
+  gp::VarMap vars(f.bench->netlist);
+  const Placement pl = f.aligned();
+  std::vector<double> gx(vars.num_vars(), 0.0), gy(vars.num_vars(), 0.0);
+  // Note: stage pitch springs want mean cell-width pitch; the aligned
+  // fixture uses pitch 3.0 which differs, so only the line terms are 0.
+  // Check lines directly: y deviation within each slice must not
+  // contribute; scramble y and the value must rise sharply.
+  const double base = term.eval(pl, vars, gx, gy);
+
+  Placement scrambled = pl;
+  util::Rng rng(1);
+  const auto& g = f.bench->truth.groups[0];
+  for (CellId c : g.cells) {
+    if (c != netlist::kInvalidId) {
+      scrambled[c].y += rng.uniform(-3, 3);
+    }
+  }
+  gx.assign(vars.num_vars(), 0.0);
+  gy.assign(vars.num_vars(), 0.0);
+  EXPECT_GT(term.eval(scrambled, vars, gx, gy), base + 1.0);
+}
+
+TEST(AlignmentPenalty, GradientMatchesFiniteDifference) {
+  AdderFixture f;
+  AlignmentPenalty term(f.bench->netlist, f.bench->truth, f.bench->design);
+  gp::VarMap vars(f.bench->netlist);
+  Placement pl = f.bench->placement;
+  util::Rng rng(5);
+  for (const CellId c : vars.movable_cells()) {
+    pl[c] = {rng.uniform(0, 15), rng.uniform(0, 15)};
+  }
+  const std::size_t n = vars.num_vars();
+  std::vector<double> gx(n, 0.0), gy(n, 0.0);
+  term.eval(pl, vars, gx, gy);
+
+  std::vector<double> dx(n), dy(n);
+  const double h = 1e-6;
+  auto value = [&](const Placement& p) {
+    dx.assign(n, 0.0);
+    dy.assign(n, 0.0);
+    return term.eval(p, vars, dx, dy);
+  };
+  // Spot-check a handful of datapath cells on both axes.
+  const auto& g = f.bench->truth.groups[0];
+  int checked = 0;
+  for (CellId c : g.cells) {
+    if (c == netlist::kInvalidId || checked >= 6) continue;
+    const auto v = vars.var(c);
+    const double x0 = pl[c].x;
+    pl[c].x = x0 + h;
+    const double fp = value(pl);
+    pl[c].x = x0 - h;
+    const double fm = value(pl);
+    pl[c].x = x0;
+    EXPECT_NEAR(gx[v], (fp - fm) / (2 * h), 1e-3);
+
+    const double y0 = pl[c].y;
+    pl[c].y = y0 + h;
+    const double fyp = value(pl);
+    pl[c].y = y0 - h;
+    const double fym = value(pl);
+    pl[c].y = y0;
+    EXPECT_NEAR(gy[v], (fyp - fym) / (2 * h), 1e-3);
+    ++checked;
+  }
+}
+
+TEST(AlignmentPenalty, TranslationInvariant) {
+  AdderFixture f;
+  AlignmentPenalty term(f.bench->netlist, f.bench->truth, f.bench->design);
+  gp::VarMap vars(f.bench->netlist);
+  Placement pl = f.aligned();
+  std::vector<double> gx(vars.num_vars(), 0.0), gy(vars.num_vars(), 0.0);
+  const double v1 = term.eval(pl, vars, gx, gy);
+  for (auto& p : pl) p += geom::Point{2.5, 1.5};
+  gx.assign(vars.num_vars(), 0.0);
+  gy.assign(vars.num_vars(), 0.0);
+  const double v2 = term.eval(pl, vars, gx, gy);
+  EXPECT_NEAR(v1, v2, 1e-6 * std::max(1.0, std::abs(v1)));
+}
+
+TEST(AlignmentPenalty, OrientationHelpers) {
+  AdderFixture f;
+  AlignmentPenalty term(f.bench->netlist, f.bench->truth, f.bench->design);
+  // Default: bits along y everywhere.
+  EXPECT_EQ(term.orientation(0), GroupOrientation::kBitsAlongY);
+  term.orient_by_shape();
+  // 8 bits x 6 stages: bits >= stages keeps bits along y.
+  EXPECT_EQ(term.orientation(0), GroupOrientation::kBitsAlongY);
+  term.orient_by_placement(f.aligned());
+  EXPECT_EQ(term.orientation(0), GroupOrientation::kBitsAlongY);
+}
+
+TEST(PlateOverlap, ZeroWhenDisjointPositiveWhenStacked) {
+  AdderFixture f;
+  dpgen::Generator gen2("t2", 34);
+  auto a = gen2.input_bus("a", 8);
+  auto b = gen2.input_bus("b", 8);
+  gen2.add_pipelined_adder("p", a, b, 1);
+  gen2.add_pipelined_adder("q", a, b, 1);
+  const auto bench = gen2.finish();
+  PlateOverlapPenalty term(bench.netlist, bench.truth, bench.design);
+  gp::VarMap vars(bench.netlist);
+
+  // Stack both groups at the core center: big overlap.
+  Placement piled = bench.placement;
+  std::vector<double> gx(vars.num_vars(), 0.0), gy(vars.num_vars(), 0.0);
+  EXPECT_GT(term.eval(piled, vars, gx, gy), 0.0);
+
+  // Separate them far apart: zero.
+  Placement apart = piled;
+  for (CellId c : bench.truth.groups[1].cells) {
+    if (c != netlist::kInvalidId) apart[c].y += 100.0;
+  }
+  gx.assign(vars.num_vars(), 0.0);
+  gy.assign(vars.num_vars(), 0.0);
+  EXPECT_DOUBLE_EQ(term.eval(apart, vars, gx, gy), 0.0);
+}
+
+TEST(PlateOverlap, GradientPushesApart) {
+  dpgen::Generator gen("t", 35);
+  auto a = gen.input_bus("a", 8);
+  auto b = gen.input_bus("b", 8);
+  gen.add_pipelined_adder("p", a, b, 1);
+  gen.add_pipelined_adder("q", a, b, 1);
+  const auto bench = gen.finish();
+  PlateOverlapPenalty term(bench.netlist, bench.truth, bench.design);
+  gp::VarMap vars(bench.netlist);
+  // Group q slightly to the right of group p, overlapping.
+  Placement pl = bench.placement;
+  for (CellId c : bench.truth.groups[1].cells) {
+    if (c != netlist::kInvalidId) pl[c].x += 1.0;
+  }
+  std::vector<double> gx(vars.num_vars(), 0.0), gy(vars.num_vars(), 0.0);
+  term.eval(pl, vars, gx, gy);
+  // Mean gradient on group p is positive-x... i.e. p pushed left means
+  // d f/d x_p > 0; q pushed right means d f / d x_q < 0.
+  double gp = 0.0, gq = 0.0;
+  for (CellId c : bench.truth.groups[0].cells) {
+    if (c != netlist::kInvalidId) gp += gx[vars.var(c)];
+  }
+  for (CellId c : bench.truth.groups[1].cells) {
+    if (c != netlist::kInvalidId) gq += gx[vars.var(c)];
+  }
+  EXPECT_GT(gp, 0.0);
+  EXPECT_LT(gq, 0.0);
+}
+
+TEST(Partition, CoversEveryCellExactlyOnce) {
+  AdderFixture f;
+  const auto out = partition_groups(f.bench->netlist, f.bench->design,
+                                    f.bench->truth);
+  std::size_t covered = 0;
+  std::vector<bool> seen(f.bench->netlist.num_cells(), false);
+  for (const auto& g : out.groups) {
+    for (CellId c : g.cells) {
+      if (c == netlist::kInvalidId) continue;
+      EXPECT_FALSE(seen[c]);
+      seen[c] = true;
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, f.bench->truth.total_cells());
+}
+
+TEST(Partition, WideGroupSplitIntoSeqChunks) {
+  // A very wide group: 8 bits x 30 stages of full adders.
+  dpgen::Generator gen("t", 36);
+  auto a = gen.input_bus("a", 8);
+  auto b = gen.input_bus("b", 8);
+  gen.add_pipelined_adder("add", a, b, 10);  // 30 stage columns
+  const auto bench = gen.finish();
+  PartitionOptions opt;
+  opt.max_width_fraction = 0.2;
+  const auto out =
+      partition_groups(bench.netlist, bench.design, bench.truth, opt);
+  EXPECT_GT(out.groups.size(), 1u);
+  // Sub-groups carry chain metadata and cover all original cells.
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < out.groups.size(); ++i) {
+    EXPECT_EQ(out.groups[i].parent, bench.truth.groups[0].name);
+    EXPECT_EQ(out.groups[i].seq, i);
+    covered += out.groups[i].num_cells();
+  }
+  EXPECT_EQ(covered, bench.truth.groups[0].num_cells());
+}
+
+TEST(Partition, TallGroupSplitIntoLaneBands) {
+  dpgen::Generator gen("t", 37);
+  auto a = gen.input_bus("a", 64);
+  auto b = gen.input_bus("b", 64);
+  gen.add_pipelined_adder("add", a, b, 1);
+  const auto bench = gen.finish();
+  PartitionOptions opt;
+  opt.max_lane_fraction = 0.25;  // force banding
+  const auto out =
+      partition_groups(bench.netlist, bench.design, bench.truth, opt);
+  EXPECT_GT(out.groups.size(), 1u);
+  for (const auto& g : out.groups) {
+    EXPECT_LE(g.bits, static_cast<std::size_t>(
+                          0.25 * static_cast<double>(bench.design.num_rows()) +
+                          2));
+  }
+}
+
+}  // namespace
+}  // namespace dp::core

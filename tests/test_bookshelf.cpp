@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "dpgen/benchmarks.hpp"
+#include "eval/metrics.hpp"
+#include "netlist/bookshelf.hpp"
+
+namespace dp::netlist {
+namespace {
+
+class BookshelfRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bench_.emplace(dpgen::make_benchmark("dp_add32"));
+    base_ = ::testing::TempDir() + "bs_test";
+    write_bookshelf(base_, bench_->netlist, bench_->design,
+                    bench_->placement);
+  }
+
+  std::optional<dpgen::Benchmark> bench_;
+  std::string base_;
+};
+
+TEST_F(BookshelfRoundTrip, CountsPreserved) {
+  const BookshelfDesign loaded = read_bookshelf(base_ + ".aux");
+  EXPECT_EQ(loaded.netlist.num_cells(), bench_->netlist.num_cells());
+  EXPECT_EQ(loaded.netlist.num_nets(), bench_->netlist.num_nets());
+  EXPECT_EQ(loaded.netlist.num_pins(), bench_->netlist.num_pins());
+  EXPECT_EQ(loaded.netlist.num_movable(), bench_->netlist.num_movable());
+}
+
+TEST_F(BookshelfRoundTrip, GeometryPreserved) {
+  const BookshelfDesign loaded = read_bookshelf(base_ + ".aux");
+  EXPECT_EQ(loaded.design.num_rows(), bench_->design.num_rows());
+  EXPECT_NEAR(loaded.design.core().width(), bench_->design.core().width(),
+              1e-6);
+  for (CellId c = 0; c < loaded.netlist.num_cells(); ++c) {
+    EXPECT_NEAR(loaded.netlist.cell_width(c), bench_->netlist.cell_width(c),
+                1e-9);
+  }
+}
+
+TEST_F(BookshelfRoundTrip, HpwlPreserved) {
+  // Pin offsets and positions both round-trip, so HPWL must match.
+  const BookshelfDesign loaded = read_bookshelf(base_ + ".aux");
+  EXPECT_NEAR(eval::hpwl(loaded.netlist, loaded.placement),
+              eval::hpwl(bench_->netlist, bench_->placement),
+              1e-4 * eval::hpwl(bench_->netlist, bench_->placement) + 1e-6);
+}
+
+TEST_F(BookshelfRoundTrip, FixedFlagsPreserved) {
+  const BookshelfDesign loaded = read_bookshelf(base_ + ".aux");
+  std::size_t fixed_in = 0, fixed_out = 0;
+  for (const auto& c : bench_->netlist.cells()) fixed_in += c.fixed ? 1 : 0;
+  for (const auto& c : loaded.netlist.cells()) fixed_out += c.fixed ? 1 : 0;
+  EXPECT_EQ(fixed_in, fixed_out);
+}
+
+TEST_F(BookshelfRoundTrip, GroupsSidecarRoundTrips) {
+  const std::string path = base_ + ".groups";
+  write_groups(path, bench_->netlist, bench_->truth);
+  const StructureAnnotation loaded = read_groups(path, bench_->netlist);
+  ASSERT_EQ(loaded.groups.size(), bench_->truth.groups.size());
+  for (std::size_t g = 0; g < loaded.groups.size(); ++g) {
+    EXPECT_EQ(loaded.groups[g].bits, bench_->truth.groups[g].bits);
+    EXPECT_EQ(loaded.groups[g].stages, bench_->truth.groups[g].stages);
+    EXPECT_EQ(loaded.groups[g].cells, bench_->truth.groups[g].cells);
+  }
+}
+
+TEST(Bookshelf, MissingFileThrows) {
+  EXPECT_THROW(read_bookshelf("/nonexistent/foo.aux"), std::runtime_error);
+}
+
+TEST(Bookshelf, GroupsUnknownCellThrows) {
+  const auto bench = dpgen::make_benchmark("dp_add32");
+  const std::string path = ::testing::TempDir() + "bad.groups";
+  {
+    std::ofstream out(path);
+    out << "group g 1 1 1.0\n  not_a_cell\n";
+  }
+  EXPECT_THROW(read_groups(path, bench.netlist), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dp::netlist

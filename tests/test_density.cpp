@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "dpgen/benchmarks.hpp"
+#include "gp/density.hpp"
+#include "util/prng.hpp"
+
+namespace dp::gp {
+namespace {
+
+using netlist::CellId;
+using netlist::Placement;
+
+struct SmallDesign {
+  SmallDesign() {
+    dpgen::Generator gen("t", 9);
+    auto a = gen.input_bus("a", 4);
+    auto b = gen.input_bus("b", 4);
+    gen.add_pipelined_adder("add", a, b, 1);
+    bench.emplace(gen.finish());
+  }
+  std::optional<dpgen::Benchmark> bench;
+};
+
+TEST(Density, ValueNonNegativeAndFinite) {
+  SmallDesign d;
+  const auto& nl = d.bench->netlist;
+  VarMap vars(nl);
+  DensityPenalty den(nl, d.bench->design, 16);
+  Placement pl = d.bench->placement;
+  std::vector<double> gx(vars.num_vars(), 0.0), gy(vars.num_vars(), 0.0);
+  const double v = den.eval(pl, vars, gx, gy);
+  EXPECT_GE(v, 0.0);
+  EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Density, PiledPlacementWorseThanSpread) {
+  SmallDesign d;
+  const auto& nl = d.bench->netlist;
+  const auto& design = d.bench->design;
+  VarMap vars(nl);
+  DensityPenalty den(nl, design, 16);
+  std::vector<double> gx(vars.num_vars(), 0.0), gy(vars.num_vars(), 0.0);
+
+  Placement piled = d.bench->placement;  // everything at the center
+  const double v_piled = den.eval(piled, vars, gx, gy);
+
+  Placement spread = piled;
+  util::Rng rng(3);
+  const geom::Rect& core = design.core();
+  for (const CellId c : vars.movable_cells()) {
+    spread[c] = {rng.uniform(core.lx, core.hx),
+                 rng.uniform(core.ly, core.hy)};
+  }
+  gx.assign(vars.num_vars(), 0.0);
+  gy.assign(vars.num_vars(), 0.0);
+  const double v_spread = den.eval(spread, vars, gx, gy);
+  EXPECT_LT(v_spread, v_piled);
+}
+
+TEST(Density, GradientMatchesFiniteDifference) {
+  SmallDesign d;
+  const auto& nl = d.bench->netlist;
+  VarMap vars(nl);
+  DensityPenalty den(nl, d.bench->design, 16);
+  Placement pl = d.bench->placement;
+  util::Rng rng(11);
+  const geom::Rect& core = d.bench->design.core();
+  for (const CellId c : vars.movable_cells()) {
+    pl[c] = {rng.uniform(core.lx + 1, core.hx - 1),
+             rng.uniform(core.ly + 1, core.hy - 1)};
+  }
+  const std::size_t n = vars.num_vars();
+  std::vector<double> gx(n, 0.0), gy(n, 0.0);
+  den.eval(pl, vars, gx, gy);
+
+  std::vector<double> dump_x(n), dump_y(n);
+  const double h = 1e-5;
+  for (std::size_t v = 0; v < std::min<std::size_t>(n, 8); ++v) {
+    const CellId c = vars.cell(v);
+    const double y0 = pl[c].y;
+    pl[c].y = y0 + h;
+    dump_x.assign(n, 0.0);
+    dump_y.assign(n, 0.0);
+    const double fp = den.eval(pl, vars, dump_x, dump_y);
+    pl[c].y = y0 - h;
+    dump_x.assign(n, 0.0);
+    dump_y.assign(n, 0.0);
+    const double fm = den.eval(pl, vars, dump_x, dump_y);
+    pl[c].y = y0;
+    const double fd = (fp - fm) / (2 * h);
+    // The analytic gradient treats the per-cell normalization as constant
+    // (the standard approximation), so allow a few percent slack.
+    EXPECT_NEAR(gx.size() ? gy[v] : 0.0, fd,
+                std::max(0.05 * std::abs(fd), 0.05));
+  }
+}
+
+TEST(Density, OverflowZeroForUniformSpread) {
+  SmallDesign d;
+  const auto& nl = d.bench->netlist;
+  const auto& design = d.bench->design;
+  VarMap vars(nl);
+  DensityPenalty den(nl, design, 8);
+  // Place cells on a regular grid: low local density everywhere.
+  Placement pl = d.bench->placement;
+  const geom::Rect& core = design.core();
+  const auto movable = vars.movable_cells();
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(movable.size()))));
+  for (std::size_t i = 0; i < movable.size(); ++i) {
+    const double fx = (static_cast<double>(i % side) + 0.5) /
+                      static_cast<double>(side);
+    const double fy = (static_cast<double>(i / side) + 0.5) /
+                      static_cast<double>(side);
+    pl[movable[i]] = {core.lx + fx * core.width(),
+                      core.ly + fy * core.height()};
+  }
+  EXPECT_LT(den.overflow(pl, vars, 1.0), 0.05);
+}
+
+TEST(Density, OverflowHighForPile) {
+  SmallDesign d;
+  VarMap vars(d.bench->netlist);
+  DensityPenalty den(d.bench->netlist, d.bench->design, 8);
+  const Placement pl = d.bench->placement;  // piled at center
+  EXPECT_GT(den.overflow(pl, vars, 1.0), 0.5);
+}
+
+TEST(Density, AreaScaleReducesContribution) {
+  SmallDesign d;
+  const auto& nl = d.bench->netlist;
+  VarMap vars(nl);
+  DensityPenalty den(nl, d.bench->design, 8);
+  const Placement pl = d.bench->placement;
+  const double before = den.overflow(pl, vars, 1.0);
+  std::vector<double> scale(nl.num_cells(), 0.5);
+  den.set_area_scale(scale);
+  // Same pile but every cell counts half: same relative overflow ratio,
+  // but the absolute overflowing area halves; the normalized metric uses
+  // the scaled total, so the value stays comparable (not larger).
+  EXPECT_LE(den.overflow(pl, vars, 1.0), before + 1e-9);
+}
+
+TEST(Density, PreloadObstaclesBlocksBins) {
+  SmallDesign d;
+  const auto& nl = d.bench->netlist;
+  // Freeze every cell: subset VarMap with empty mask.
+  std::vector<bool> none(nl.num_cells(), false);
+  VarMap frozen(nl, none);
+  EXPECT_EQ(frozen.num_vars(), 0u);
+  DensityPenalty den(nl, d.bench->design, 8);
+  den.preload_obstacles(d.bench->placement, frozen);
+  // All movable area is now preload: full overflow against a 0 target...
+  // overflow() with no movable cells returns 0 by definition; instead the
+  // penalty value must reflect the preloaded pile.
+  std::vector<double> gx, gy;
+  const double v = den.eval(d.bench->placement, frozen, gx, gy);
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(Density, OneSidedIgnoresUnderfull) {
+  SmallDesign d;
+  const auto& nl = d.bench->netlist;
+  VarMap vars(nl);
+  DensityPenalty den(nl, d.bench->design, 8);
+  // Spread grid placement: nothing above 1.0 density.
+  Placement pl = d.bench->placement;
+  const geom::Rect& core = d.bench->design.core();
+  const auto movable = vars.movable_cells();
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(movable.size()))));
+  for (std::size_t i = 0; i < movable.size(); ++i) {
+    pl[movable[i]] = {
+        core.lx + (static_cast<double>(i % side) + 0.5) /
+                      static_cast<double>(side) * core.width(),
+        core.ly + (static_cast<double>(i / side) + 0.5) /
+                      static_cast<double>(side) * core.height()};
+  }
+  std::vector<double> gx(vars.num_vars(), 0.0), gy(vars.num_vars(), 0.0);
+  const double two_sided = den.eval(pl, vars, gx, gy);
+  den.set_one_sided(1.0);
+  gx.assign(vars.num_vars(), 0.0);
+  gy.assign(vars.num_vars(), 0.0);
+  const double one_sided = den.eval(pl, vars, gx, gy);
+  // Under-full bins dominate a spread placement's two-sided penalty; the
+  // one-sided value keeps only the (tiny, quantization-level) overfull
+  // residue.
+  EXPECT_LT(one_sided, 0.05 * two_sided);
+}
+
+}  // namespace
+}  // namespace dp::gp

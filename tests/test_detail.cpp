@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "detail/detailed_placer.hpp"
+#include "dpgen/benchmarks.hpp"
+#include "eval/metrics.hpp"
+#include "legal/abacus.hpp"
+#include "util/prng.hpp"
+
+namespace dp::detail {
+namespace {
+
+using netlist::CellId;
+using netlist::Placement;
+
+struct LegalBench {
+  explicit LegalBench(std::uint64_t seed) {
+    dpgen::Generator gen("t", seed);
+    gen.add_control_block("ctl", 50);
+    auto a = gen.input_bus("a", 8);
+    auto b = gen.input_bus("b", 8);
+    auto s = gen.add_pipelined_adder("add", a, b, 2);
+    gen.output_bus("s", s);
+    bench.emplace(gen.finish());
+    pl = bench->placement;
+    util::Rng rng(seed * 3 + 1);
+    const geom::Rect& core = bench->design.core();
+    for (CellId c = 0; c < bench->netlist.num_cells(); ++c) {
+      if (!bench->netlist.cell(c).fixed) {
+        pl[c] = {rng.uniform(core.lx, core.hx),
+                 rng.uniform(core.ly, core.hy)};
+      }
+    }
+    legal::AbacusLegalizer(bench->netlist, bench->design).run_all(pl);
+  }
+  std::optional<dpgen::Benchmark> bench;
+  Placement pl;
+};
+
+class DetailProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DetailProperty, NeverIncreasesHpwl) {
+  LegalBench lb(GetParam());
+  const double before = eval::hpwl(lb.bench->netlist, lb.pl);
+  DetailedPlacer placer(lb.bench->netlist, lb.bench->design);
+  const DetailStats stats = placer.run(lb.pl);
+  EXPECT_LE(stats.hpwl_after, before + 1e-9);
+  EXPECT_DOUBLE_EQ(stats.hpwl_before, before);
+}
+
+TEST_P(DetailProperty, PreservesLegality) {
+  LegalBench lb(GetParam());
+  ASSERT_TRUE(
+      eval::check_legality(lb.bench->netlist, lb.bench->design, lb.pl)
+          .legal());
+  DetailedPlacer placer(lb.bench->netlist, lb.bench->design);
+  placer.run(lb.pl);
+  EXPECT_TRUE(
+      eval::check_legality(lb.bench->netlist, lb.bench->design, lb.pl)
+          .legal());
+}
+
+TEST_P(DetailProperty, StructuredModePreservesLegality) {
+  LegalBench lb(GetParam());
+  DetailedPlacer placer(lb.bench->netlist, lb.bench->design);
+  std::vector<bool> along_y(lb.bench->truth.groups.size(), true);
+  placer.run_structured(lb.pl, lb.bench->truth, along_y);
+  EXPECT_TRUE(
+      eval::check_legality(lb.bench->netlist, lb.bench->design, lb.pl)
+          .legal());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetailProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Detail, ActuallyImprovesRandomLegalPlacement) {
+  LegalBench lb(9);
+  DetailedPlacer placer(lb.bench->netlist, lb.bench->design);
+  const DetailStats stats = placer.run(lb.pl);
+  EXPECT_LT(stats.hpwl_after, stats.hpwl_before);
+  EXPECT_GT(stats.slides + stats.swaps, 0u);
+}
+
+TEST(Detail, MaxPassesZeroIsNoop) {
+  LegalBench lb(10);
+  const Placement before = lb.pl;
+  DetailedPlacer placer(lb.bench->netlist, lb.bench->design);
+  DetailOptions opt;
+  opt.max_passes = 0;
+  placer.run(lb.pl, opt);
+  for (CellId c = 0; c < lb.bench->netlist.num_cells(); ++c) {
+    EXPECT_DOUBLE_EQ(lb.pl[c].x, before[c].x);
+  }
+}
+
+TEST(Detail, StructuredModeKeepsContiguousLanesRigid) {
+  // Build a placement where group lanes are perfectly packed, then check
+  // relative offsets within each lane survive detailed placement.
+  dpgen::Benchmark bench = dpgen::make_benchmark("dp_add32");
+  std::vector<bool> along_y(bench.truth.groups.size(), true);
+  legal::AbacusLegalizer ab(bench.netlist, bench.design);
+  Placement pl = bench.placement;
+  util::Rng rng(3);
+  const geom::Rect& core = bench.design.core();
+  for (CellId c = 0; c < bench.netlist.num_cells(); ++c) {
+    if (!bench.netlist.cell(c).fixed) {
+      pl[c] = {rng.uniform(core.lx, core.hx), rng.uniform(core.ly, core.hy)};
+    }
+  }
+  ab.run_all(pl);
+
+  DetailedPlacer placer(bench.netlist, bench.design);
+  placer.run_structured(pl, bench.truth, along_y);
+  EXPECT_TRUE(eval::check_legality(bench.netlist, bench.design, pl).legal());
+}
+
+}  // namespace
+}  // namespace dp::detail

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "dpgen/benchmarks.hpp"
+#include "eval/metrics.hpp"
+#include "eval/svg.hpp"
+
+namespace dp::eval {
+namespace {
+
+using netlist::CellFunc;
+using netlist::CellId;
+using netlist::Placement;
+
+struct RowBench {
+  RowBench() {
+    netlist::NetlistBuilder b(netlist::standard_library());
+    c1 = b.add_cell("c1", CellFunc::kInv);
+    c2 = b.add_cell("c2", CellFunc::kInv);
+    nl.emplace(b.take());
+    design.emplace(geom::Rect{0, 0, 10, 4}, 1.0, 0.25);
+  }
+  CellId c1, c2;
+  std::optional<netlist::Netlist> nl;
+  std::optional<netlist::Design> design;
+
+  double w() const { return nl->cell_width(c1); }
+};
+
+TEST(Legality, CleanPlacementPasses) {
+  RowBench rb;
+  Placement pl(2);
+  pl[rb.c1] = {0.25 + rb.w() / 2, 0.5};
+  pl[rb.c2] = {2.0 + rb.w() / 2, 1.5};
+  EXPECT_TRUE(check_legality(*rb.nl, *rb.design, pl).legal());
+}
+
+TEST(Legality, DetectsOverlap) {
+  RowBench rb;
+  Placement pl(2);
+  pl[rb.c1] = {1.0 + rb.w() / 2, 0.5};
+  pl[rb.c2] = {1.25 + rb.w() / 2, 0.5};  // overlaps c1 (width 0.75)
+  const auto rep = check_legality(*rb.nl, *rb.design, pl);
+  EXPECT_EQ(rep.overlaps, 1u);
+  EXPECT_GT(rep.total_overlap_area, 0.0);
+}
+
+TEST(Legality, DetectsOffRow) {
+  RowBench rb;
+  Placement pl(2);
+  pl[rb.c1] = {1.0 + rb.w() / 2, 0.7};  // not on a row boundary
+  pl[rb.c2] = {5.0 + rb.w() / 2, 1.5};
+  EXPECT_GT(check_legality(*rb.nl, *rb.design, pl).off_row, 0u);
+}
+
+TEST(Legality, DetectsOffSite) {
+  RowBench rb;
+  Placement pl(2);
+  pl[rb.c1] = {1.1 + rb.w() / 2, 0.5};  // 1.1 not a site multiple
+  pl[rb.c2] = {5.0 + rb.w() / 2, 1.5};
+  EXPECT_GT(check_legality(*rb.nl, *rb.design, pl).off_site, 0u);
+}
+
+TEST(Legality, DetectsOutOfCore) {
+  RowBench rb;
+  Placement pl(2);
+  pl[rb.c1] = {-5.0, 0.5};
+  pl[rb.c2] = {5.0 + rb.w() / 2, 1.5};
+  EXPECT_GT(check_legality(*rb.nl, *rb.design, pl).out_of_core, 0u);
+}
+
+TEST(AlignmentScore, PerfectArrayScoresZero) {
+  dpgen::Benchmark bench = dpgen::make_benchmark("dp_add32");
+  Placement pl = bench.placement;
+  const auto& g = bench.truth.groups[0];
+  for (std::size_t bit = 0; bit < g.bits; ++bit) {
+    for (std::size_t s = 0; s < g.stages; ++s) {
+      const CellId c = g.at(bit, s);
+      if (c != netlist::kInvalidId) {
+        pl[c] = {static_cast<double>(s) * 3.0,
+                 static_cast<double>(bit) * 1.0};
+      }
+    }
+  }
+  netlist::StructureAnnotation one;
+  one.groups.push_back(g);
+  EXPECT_NEAR(alignment_score(bench.netlist, pl, one).rms_misalignment, 0.0,
+              1e-12);
+}
+
+TEST(AlignmentScore, ScrambledArrayScoresHigh) {
+  dpgen::Benchmark bench = dpgen::make_benchmark("dp_add32");
+  Placement pl = bench.placement;
+  util::Rng rng(8);
+  for (CellId c = 0; c < bench.netlist.num_cells(); ++c) {
+    pl[c] = {rng.uniform(0, 30), rng.uniform(0, 30)};
+  }
+  EXPECT_GT(alignment_score(bench.netlist, pl, bench.truth).rms_misalignment,
+            2.0);
+}
+
+TEST(DatapathHpwl, SubsetOfTotal) {
+  const dpgen::Benchmark bench = dpgen::make_benchmark("mix50");
+  const double total = hpwl(bench.netlist, bench.placement);
+  const double dp = datapath_hpwl(bench.netlist, bench.placement, bench.truth);
+  EXPECT_LE(dp, total + 1e-9);
+  EXPECT_GT(dp, 0.0);
+}
+
+TEST(DensityOverflow, ZeroWithoutCells) {
+  netlist::NetlistBuilder b(netlist::standard_library());
+  b.add_cell("p", CellFunc::kPad, true);
+  const auto nl = b.take();
+  const netlist::Design design(geom::Rect{0, 0, 4, 4}, 1.0, 0.25);
+  Placement pl(1);
+  EXPECT_DOUBLE_EQ(density_overflow(nl, design, pl, 1.0), 0.0);
+}
+
+TEST(Svg, WritesNonEmptyFile) {
+  const dpgen::Benchmark bench = dpgen::make_benchmark("dp_add32");
+  const std::string path = ::testing::TempDir() + "svg_test.svg";
+  write_svg(path, bench.netlist, bench.design, bench.placement,
+            &bench.truth);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("<svg"), std::string::npos);
+  EXPECT_NE(content.find("<rect"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dp::eval

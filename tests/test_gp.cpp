@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "dpgen/benchmarks.hpp"
+#include "eval/metrics.hpp"
+#include "gp/global_placer.hpp"
+#include "gp/quadratic.hpp"
+
+namespace dp::gp {
+namespace {
+
+using netlist::CellId;
+using netlist::Placement;
+
+struct SmallBench {
+  SmallBench() {
+    dpgen::Generator gen("t", 21);
+    gen.add_control_block("ctl", 40);
+    auto a = gen.input_bus("a", 8);
+    auto b = gen.input_bus("b", 8);
+    auto s = gen.add_pipelined_adder("add", a, b, 2);
+    gen.output_bus("s", s);
+    bench.emplace(gen.finish());
+  }
+  std::optional<dpgen::Benchmark> bench;
+};
+
+TEST(VarMap, FreeModeOneVarPerMovable) {
+  SmallBench sb;
+  const VarMap vars(sb.bench->netlist);
+  EXPECT_EQ(vars.num_vars(), sb.bench->netlist.num_movable());
+  for (const CellId c : vars.movable_cells()) {
+    EXPECT_FALSE(sb.bench->netlist.cell(c).fixed);
+    EXPECT_EQ(vars.cell(vars.var(c)), c);
+  }
+}
+
+TEST(VarMap, ScatterGatherRoundTrip) {
+  SmallBench sb;
+  const VarMap vars(sb.bench->netlist);
+  Placement pl = sb.bench->placement;
+  const auto v = vars.gather(pl);
+  Placement pl2(pl.size());
+  vars.scatter(v, pl2);
+  for (const CellId c : vars.movable_cells()) {
+    EXPECT_DOUBLE_EQ(pl2[c].x, pl[c].x);
+    EXPECT_DOUBLE_EQ(pl2[c].y, pl[c].y);
+  }
+}
+
+TEST(VarMap, RigidBodySharesVariable) {
+  SmallBench sb;
+  const auto& nl = sb.bench->netlist;
+  // First three movable cells form one body.
+  std::vector<CellId> body;
+  for (CellId c = 0; c < nl.num_cells() && body.size() < 3; ++c) {
+    if (!nl.cell(c).fixed) body.push_back(c);
+  }
+  Placement pl = sb.bench->placement;
+  pl[body[1]] = {pl[body[0]].x + 2.0, pl[body[0]].y};
+  pl[body[2]] = {pl[body[0]].x + 5.0, pl[body[0]].y + 1.0};
+  const VarMap vars(nl, pl, {body});
+  EXPECT_EQ(vars.num_vars(), nl.num_movable() - 2);
+  EXPECT_EQ(vars.var(body[0]), vars.var(body[1]));
+  EXPECT_EQ(vars.var(body[0]), vars.var(body[2]));
+
+  // Moving the shared variable moves all members rigidly.
+  auto v = vars.gather(pl);
+  v[vars.var(body[0])] += 10.0;
+  Placement moved = pl;
+  vars.scatter(v, moved);
+  EXPECT_DOUBLE_EQ(moved[body[1]].x - moved[body[0]].x, 2.0);
+  EXPECT_DOUBLE_EQ(moved[body[2]].x - moved[body[0]].x, 5.0);
+  EXPECT_DOUBLE_EQ(moved[body[0]].x, pl[body[0]].x + 10.0);
+}
+
+TEST(VarMap, SubsetModeFreezesOthers) {
+  SmallBench sb;
+  const auto& nl = sb.bench->netlist;
+  std::vector<bool> mask(nl.num_cells(), false);
+  CellId chosen = netlist::kInvalidId;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (!nl.cell(c).fixed) {
+      mask[c] = true;
+      chosen = c;
+      break;
+    }
+  }
+  const VarMap vars(nl, mask);
+  EXPECT_EQ(vars.num_vars(), 1u);
+  EXPECT_TRUE(vars.is_movable(chosen));
+}
+
+TEST(Quadratic, PullsCellsIntoCore) {
+  SmallBench sb;
+  const auto& nl = sb.bench->netlist;
+  const auto& design = sb.bench->design;
+  VarMap vars(nl);
+  Placement pl = sb.bench->placement;
+  quadratic_initial_placement(nl, design, vars, pl);
+  const geom::Rect& core = design.core();
+  for (const CellId c : vars.movable_cells()) {
+    EXPECT_GE(pl[c].x, core.lx);
+    EXPECT_LE(pl[c].x, core.hx);
+    EXPECT_GE(pl[c].y, core.ly);
+    EXPECT_LE(pl[c].y, core.hy);
+  }
+}
+
+TEST(Quadratic, ImprovesHpwlFromRandomStart) {
+  SmallBench sb;
+  const auto& nl = sb.bench->netlist;
+  VarMap vars(nl);
+  Placement pl = sb.bench->placement;
+  util::Rng rng(5);
+  const geom::Rect& core = sb.bench->design.core();
+  for (const CellId c : vars.movable_cells()) {
+    pl[c] = {rng.uniform(core.lx, core.hx), rng.uniform(core.ly, core.hy)};
+  }
+  const double before = eval::hpwl(nl, pl);
+  quadratic_initial_placement(nl, sb.bench->design, vars, pl);
+  EXPECT_LT(eval::hpwl(nl, pl), before);
+}
+
+TEST(GlobalPlacer, ReducesOverflowBelowStop) {
+  SmallBench sb;
+  GpOptions opt;
+  opt.stop_overflow = 0.15;
+  opt.max_outer = 30;
+  GlobalPlacer placer(sb.bench->netlist, sb.bench->design, opt);
+  Placement pl = sb.bench->placement;
+  const GpResult res = placer.place(pl);
+  EXPECT_LE(res.final_overflow, 0.25);
+  EXPECT_FALSE(res.trace.empty());
+  EXPECT_GT(res.total_cg_iterations, 0u);
+}
+
+TEST(GlobalPlacer, KeepsCellsInCore) {
+  SmallBench sb;
+  GlobalPlacer placer(sb.bench->netlist, sb.bench->design);
+  Placement pl = sb.bench->placement;
+  placer.place(pl);
+  const geom::Rect& core = sb.bench->design.core();
+  for (const CellId c : placer.vars().movable_cells()) {
+    EXPECT_GE(pl[c].x, core.lx - 1e-9);
+    EXPECT_LE(pl[c].x, core.hx + 1e-9);
+  }
+}
+
+TEST(GlobalPlacer, Deterministic) {
+  SmallBench sb;
+  Placement p1 = sb.bench->placement, p2 = sb.bench->placement;
+  GlobalPlacer(sb.bench->netlist, sb.bench->design).place(p1);
+  GlobalPlacer(sb.bench->netlist, sb.bench->design).place(p2);
+  EXPECT_DOUBLE_EQ(eval::hpwl(sb.bench->netlist, p1),
+                   eval::hpwl(sb.bench->netlist, p2));
+}
+
+TEST(GlobalPlacer, ExtraTermWeightCallbackRuns) {
+  SmallBench sb;
+  // A pull-everything-to-origin term; with a huge weight it must visibly
+  // drag the placement toward the corner.
+  class Pull final : public ObjectiveTerm {
+   public:
+    double eval(const Placement& pl, const VarMap& vars,
+                std::span<double> gx, std::span<double> gy) const override {
+      double f = 0.0;
+      for (const CellId c : vars.movable_cells()) {
+        f += pl[c].x * pl[c].x + pl[c].y * pl[c].y;
+        gx[vars.var(c)] += 2 * pl[c].x;
+        gy[vars.var(c)] += 2 * pl[c].y;
+      }
+      return f;
+    }
+  };
+  Pull pull;
+  int calls = 0;
+  GpOptions opt;
+  opt.max_outer = 6;
+  GlobalPlacer placer(sb.bench->netlist, sb.bench->design, opt);
+  placer.add_term({&pull, [&calls](const TermContext&) {
+                     ++calls;
+                     return 1e3;
+                   }});
+  Placement pl = sb.bench->placement;
+  placer.place(pl);
+  EXPECT_GT(calls, 0);
+  // Center of gravity pulled toward the origin corner.
+  double cx = 0.0;
+  std::size_t n = 0;
+  for (const CellId c : placer.vars().movable_cells()) {
+    cx += pl[c].x;
+    ++n;
+  }
+  cx /= static_cast<double>(n);
+  EXPECT_LT(cx, sb.bench->design.core().center().x);
+}
+
+TEST(GlobalPlacer, TraceIsMonotoneInLambda) {
+  SmallBench sb;
+  GlobalPlacer placer(sb.bench->netlist, sb.bench->design);
+  Placement pl = sb.bench->placement;
+  const GpResult res = placer.place(pl);
+  for (std::size_t i = 1; i < res.trace.size(); ++i) {
+    EXPECT_GE(res.trace[i].lambda, res.trace[i - 1].lambda);
+    EXPECT_LE(res.trace[i].gamma, res.trace[i - 1].gamma + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dp::gp

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "dpgen/benchmarks.hpp"
+#include "eval/metrics.hpp"
+#include "legal/abacus.hpp"
+#include "legal/repair.hpp"
+#include "legal/rowmap.hpp"
+#include "legal/structure_legal.hpp"
+#include "legal/tetris.hpp"
+#include "util/prng.hpp"
+
+namespace dp::legal {
+namespace {
+
+using netlist::CellId;
+using netlist::Placement;
+
+TEST(RowMap, InitialSegmentsSpanRows) {
+  const netlist::Design design(geom::Rect{0, 0, 10, 4}, 1.0, 0.25);
+  const RowMap rows(design);
+  ASSERT_EQ(rows.num_rows(), 4u);
+  ASSERT_EQ(rows.segments(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(rows.free_width(0), 10.0);
+}
+
+TEST(RowMap, BlockSplitsSegment) {
+  const netlist::Design design(geom::Rect{0, 0, 10, 2}, 1.0, 0.25);
+  RowMap rows(design);
+  rows.block(0, 4.0, 6.0);
+  ASSERT_EQ(rows.segments(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(rows.segments(0)[0].hx, 4.0);
+  EXPECT_DOUBLE_EQ(rows.segments(0)[1].lx, 6.0);
+  EXPECT_DOUBLE_EQ(rows.free_width(0), 8.0);
+  EXPECT_DOUBLE_EQ(rows.free_width(1), 10.0);
+}
+
+TEST(RowMap, BlockAtEdgeTrims) {
+  const netlist::Design design(geom::Rect{0, 0, 10, 1}, 1.0, 0.25);
+  RowMap rows(design);
+  rows.block(0, 0.0, 3.0);
+  ASSERT_EQ(rows.segments(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(rows.segments(0)[0].lx, 3.0);
+}
+
+TEST(RowMap, OverlappingBlocksMerge) {
+  const netlist::Design design(geom::Rect{0, 0, 10, 1}, 1.0, 0.25);
+  RowMap rows(design);
+  rows.block(0, 2.0, 5.0);
+  rows.block(0, 4.0, 7.0);
+  EXPECT_DOUBLE_EQ(rows.free_width(0), 5.0);
+}
+
+struct RandomBench {
+  explicit RandomBench(std::uint64_t seed, std::size_t glue = 400,
+                       double utilization = 0.7) {
+    dpgen::Generator gen("t", seed);
+    gen.add_glue("g", glue, {});
+    bench.emplace(gen.finish(utilization));
+  }
+  std::optional<dpgen::Benchmark> bench;
+
+  Placement random_start(std::uint64_t seed) const {
+    Placement pl = bench->placement;
+    util::Rng rng(seed);
+    const geom::Rect& core = bench->design.core();
+    for (CellId c = 0; c < bench->netlist.num_cells(); ++c) {
+      if (!bench->netlist.cell(c).fixed) {
+        pl[c] = {rng.uniform(core.lx, core.hx),
+                 rng.uniform(core.ly, core.hy)};
+      }
+    }
+    return pl;
+  }
+};
+
+class LegalizerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LegalizerProperty, TetrisProducesLegalPlacement) {
+  // Tetris wastes the gaps behind its fill tails, so give it headroom;
+  // at high utilization the pipeline backstops it with repair_legality.
+  RandomBench rb(GetParam(), 400, 0.6);
+  Placement pl = rb.random_start(GetParam() * 31 + 7);
+  TetrisLegalizer tetris(rb.bench->netlist, rb.bench->design);
+  const LegalizeStats stats = tetris.run_all(pl);
+  EXPECT_EQ(stats.cells_failed, 0u);
+  const auto rep =
+      eval::check_legality(rb.bench->netlist, rb.bench->design, pl);
+  EXPECT_TRUE(rep.legal()) << "ov=" << rep.overlaps << " row=" << rep.off_row
+                           << " site=" << rep.off_site
+                           << " out=" << rep.out_of_core;
+}
+
+TEST_P(LegalizerProperty, AbacusProducesLegalPlacement) {
+  RandomBench rb(GetParam());
+  Placement pl = rb.random_start(GetParam() * 13 + 5);
+  AbacusLegalizer abacus(rb.bench->netlist, rb.bench->design);
+  const LegalizeStats stats = abacus.run_all(pl);
+  EXPECT_EQ(stats.cells_failed, 0u);
+  EXPECT_TRUE(
+      eval::check_legality(rb.bench->netlist, rb.bench->design, pl).legal());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LegalizerProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Abacus, SmallerDisplacementThanTetrisOnSpreadInput) {
+  RandomBench rb(42);
+  // Near-legal start: quadratic-ish spread.
+  Placement pl = rb.random_start(99);
+  Placement pl2 = pl;
+  TetrisLegalizer tetris(rb.bench->netlist, rb.bench->design);
+  AbacusLegalizer abacus(rb.bench->netlist, rb.bench->design);
+  const auto st = tetris.run_all(pl);
+  const auto sa = abacus.run_all(pl2);
+  EXPECT_LT(sa.avg_displacement(), st.avg_displacement() * 1.5);
+}
+
+TEST(Abacus, RespectsBlockedSegments) {
+  RandomBench rb(7, 100);
+  Placement pl = rb.random_start(3);
+  RowMap rows(rb.bench->design);
+  // Block the left half of every row.
+  const geom::Rect& core = rb.bench->design.core();
+  for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+    rows.block(r, core.lx, core.center().x);
+  }
+  std::vector<CellId> cells;
+  for (CellId c = 0; c < rb.bench->netlist.num_cells(); ++c) {
+    if (!rb.bench->netlist.cell(c).fixed) cells.push_back(c);
+  }
+  AbacusLegalizer abacus(rb.bench->netlist, rb.bench->design);
+  std::vector<CellId> failed;
+  abacus.run(pl, cells, rows, &failed);
+  for (CellId c : cells) {
+    bool is_failed = false;
+    for (CellId f : failed) is_failed |= (f == c);
+    if (is_failed) continue;
+    EXPECT_GE(pl[c].x - rb.bench->netlist.cell_width(c) / 2.0,
+              core.center().x - 1e-6)
+        << rb.bench->netlist.cell(c).name;
+  }
+}
+
+TEST(Repair, FixesInjectedViolations) {
+  RandomBench rb(11);
+  Placement pl = rb.random_start(1);
+  TetrisLegalizer tetris(rb.bench->netlist, rb.bench->design);
+  tetris.run_all(pl);
+  ASSERT_TRUE(
+      eval::check_legality(rb.bench->netlist, rb.bench->design, pl).legal());
+
+  // Break it: pile 20 cells onto one spot and knock one off-grid.
+  util::Rng rng(2);
+  const geom::Point spot = rb.bench->design.core().center();
+  std::size_t broken = 0;
+  for (CellId c = 0; c < rb.bench->netlist.num_cells() && broken < 20; ++c) {
+    if (rb.bench->netlist.cell(c).fixed) continue;
+    pl[c] = {spot.x + rng.uniform(-0.1, 0.1), spot.y};
+    ++broken;
+  }
+  ASSERT_FALSE(
+      eval::check_legality(rb.bench->netlist, rb.bench->design, pl).legal());
+
+  const std::size_t repaired =
+      repair_legality(rb.bench->netlist, rb.bench->design, pl);
+  EXPECT_GT(repaired, 0u);
+  EXPECT_TRUE(
+      eval::check_legality(rb.bench->netlist, rb.bench->design, pl).legal());
+}
+
+TEST(Repair, NoopOnLegalInput) {
+  RandomBench rb(13);
+  Placement pl = rb.random_start(1);
+  AbacusLegalizer(rb.bench->netlist, rb.bench->design).run_all(pl);
+  const Placement before = pl;
+  EXPECT_EQ(repair_legality(rb.bench->netlist, rb.bench->design, pl), 0u);
+  for (CellId c = 0; c < rb.bench->netlist.num_cells(); ++c) {
+    EXPECT_DOUBLE_EQ(pl[c].x, before[c].x);
+  }
+}
+
+TEST(StructureLegalizer, ProducesLegalBlocksForAdder) {
+  dpgen::Benchmark bench = dpgen::make_benchmark("dp_add32");
+  // Use ground truth as the structure; start from the parked placement.
+  std::vector<bool> along_y(bench.truth.groups.size(), true);
+  StructureLegalizer legalizer(bench.netlist, bench.design, bench.truth,
+                               along_y);
+  Placement pl = bench.placement;
+  const StructureLegalizeStats stats = legalizer.run(pl);
+  EXPECT_EQ(stats.rest.cells_failed, 0u);
+  EXPECT_TRUE(
+      eval::check_legality(bench.netlist, bench.design, pl).legal());
+
+  // Every slice of every block-placed group sits on one row, aligned.
+  const auto score = eval::alignment_score(bench.netlist, pl, bench.truth);
+  EXPECT_LT(score.rms_misalignment, 0.5);
+}
+
+}  // namespace
+}  // namespace dp::legal

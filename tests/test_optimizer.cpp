@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gp/optimizer.hpp"
+
+namespace dp::gp {
+namespace {
+
+/// f(x) = sum (x_i - t_i)^2 -- convex bowl with known minimum.
+class Bowl final : public Objective {
+ public:
+  explicit Bowl(std::vector<double> target) : target_(std::move(target)) {}
+  double eval(std::span<const double> v, std::span<double> g) override {
+    double f = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const double d = v[i] - target_[i];
+      f += d * d;
+      g[i] = 2 * d;
+    }
+    return f;
+  }
+
+ private:
+  std::vector<double> target_;
+};
+
+/// 2-D Rosenbrock: the classic narrow-valley stress test.
+class Rosenbrock final : public Objective {
+ public:
+  double eval(std::span<const double> v, std::span<double> g) override {
+    const double x = v[0], y = v[1];
+    const double f = 100 * (y - x * x) * (y - x * x) + (1 - x) * (1 - x);
+    g[0] = -400 * x * (y - x * x) - 2 * (1 - x);
+    g[1] = 200 * (y - x * x);
+    return f;
+  }
+};
+
+TEST(Cg, SolvesQuadraticBowl) {
+  Bowl bowl({3.0, -2.0, 7.0});
+  std::vector<double> v{0.0, 0.0, 0.0};
+  CgOptions opt;
+  opt.max_iters = 200;
+  opt.step_ref = 1.0;
+  opt.rel_tol = 1e-12;
+  const CgResult res = minimize_cg(bowl, v, opt);
+  EXPECT_NEAR(v[0], 3.0, 1e-3);
+  EXPECT_NEAR(v[1], -2.0, 1e-3);
+  EXPECT_NEAR(v[2], 7.0, 1e-3);
+  EXPECT_NEAR(res.final_value, 0.0, 1e-5);
+}
+
+TEST(Cg, ReducesRosenbrock) {
+  Rosenbrock f;
+  std::vector<double> v{-1.2, 1.0};
+  CgOptions opt;
+  opt.max_iters = 500;
+  opt.step_ref = 0.1;
+  opt.rel_tol = 1e-14;
+  const CgResult res = minimize_cg(f, v, opt);
+  EXPECT_LT(res.final_value, 1.0);  // start value is ~24.2
+}
+
+TEST(Cg, EmptyProblemIsNoop) {
+  Bowl bowl({});
+  std::vector<double> v;
+  const CgResult res = minimize_cg(bowl, v, {});
+  EXPECT_EQ(res.iterations, 0u);
+}
+
+TEST(Cg, AlreadyOptimalStopsQuickly) {
+  Bowl bowl({1.0, 1.0});
+  std::vector<double> v{1.0, 1.0};
+  CgOptions opt;
+  opt.max_iters = 100;
+  const CgResult res = minimize_cg(bowl, v, opt);
+  EXPECT_LE(res.iterations, 3u);
+  EXPECT_NEAR(res.final_value, 0.0, 1e-12);
+}
+
+TEST(Cg, MonotoneNonIncreasing) {
+  // The Armijo line search guarantees each accepted step decreases f.
+  Bowl bowl({5.0, 5.0, 5.0, 5.0});
+  std::vector<double> v{0, 0, 0, 0};
+  CgOptions opt;
+  opt.max_iters = 1;
+  double prev = 100.0;  // f(0) = 100
+  for (int i = 0; i < 20; ++i) {
+    const CgResult res = minimize_cg(bowl, v, opt);
+    EXPECT_LE(res.final_value, prev + 1e-12);
+    prev = res.final_value;
+  }
+}
+
+TEST(Cg, CountsEvaluations) {
+  Bowl bowl({2.0});
+  std::vector<double> v{0.0};
+  CgOptions opt;
+  opt.max_iters = 10;
+  const CgResult res = minimize_cg(bowl, v, opt);
+  EXPECT_GE(res.evaluations, res.iterations);
+}
+
+}  // namespace
+}  // namespace dp::gp

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/structure_placer.hpp"
+#include "dpgen/benchmarks.hpp"
+
+namespace dp::core {
+namespace {
+
+using netlist::Placement;
+
+struct Pipe {
+  explicit Pipe(const std::string& name)
+      : bench(dpgen::make_benchmark(name)) {}
+
+  PlaceReport run(PlacerConfig config) {
+    StructurePlacer placer(bench.netlist, bench.design, config);
+    pl = bench.placement;
+    return placer.place(pl, &bench.truth);
+  }
+
+  dpgen::Benchmark bench;
+  Placement pl;
+};
+
+TEST(StructurePlacer, BaselineIsLegalAndFinite) {
+  Pipe pipe("dp_add32");
+  PlacerConfig c;
+  c.structure_aware = false;
+  const PlaceReport rep = pipe.run(c);
+  EXPECT_TRUE(rep.legality.legal());
+  EXPECT_GT(rep.hpwl_final, 0.0);
+  EXPECT_TRUE(rep.structure.groups.empty());
+  EXPECT_GT(rep.gp_result.trace.size(), 0u);
+}
+
+TEST(StructurePlacer, GentleFlowLegalAndAligned) {
+  Pipe pipe("dp_add32");
+  PlacerConfig c;
+  c.structure_aware = true;
+  c.legalization = LegalizationMode::kGentle;
+  const PlaceReport rep = pipe.run(c);
+  EXPECT_TRUE(rep.legality.legal());
+  EXPECT_FALSE(rep.structure.groups.empty());
+  // The whole point: far better alignment than the baseline's ~4 rows.
+  EXPECT_LT(rep.alignment.rms_misalignment, 1.5);
+}
+
+TEST(StructurePlacer, StructuredFlowPerfectAlignment) {
+  Pipe pipe("dp_add32");
+  PlacerConfig c;
+  c.structure_aware = true;
+  c.legalization = LegalizationMode::kStructured;
+  const PlaceReport rep = pipe.run(c);
+  EXPECT_TRUE(rep.legality.legal());
+  EXPECT_LT(rep.alignment.rms_misalignment, 0.2);
+  EXPECT_GT(rep.legal_blocks, 0u);
+}
+
+TEST(StructurePlacer, BaselineBeatsNothingOnAlignment) {
+  Pipe pipe("dp_add32");
+  PlacerConfig base;
+  base.structure_aware = false;
+  const PlaceReport rb = pipe.run(base);
+  const double base_mis =
+      eval::alignment_score(pipe.bench.netlist, pipe.pl, pipe.bench.truth)
+          .rms_misalignment;
+
+  PlacerConfig sa;
+  sa.structure_aware = true;
+  const PlaceReport rs = pipe.run(sa);
+  EXPECT_LT(rs.alignment.rms_misalignment, base_mis);
+  (void)rb;
+}
+
+TEST(StructurePlacer, Deterministic) {
+  Pipe pipe("dp_add32");
+  PlacerConfig c;
+  const PlaceReport r1 = pipe.run(c);
+  const PlaceReport r2 = pipe.run(c);
+  EXPECT_DOUBLE_EQ(r1.hpwl_final, r2.hpwl_final);
+}
+
+TEST(StructurePlacer, TruthOracleAblationWorks) {
+  Pipe pipe("dp_add32");
+  PlacerConfig c;
+  c.use_truth_structure = true;
+  const PlaceReport rep = pipe.run(c);
+  EXPECT_TRUE(rep.legality.legal());
+  // The structure used is (a partition of) the truth annotation.
+  EXPECT_EQ(rep.structure.total_cells(), pipe.bench.truth.total_cells());
+}
+
+TEST(StructurePlacer, ReportsStageTimings) {
+  Pipe pipe("dp_add32");
+  const PlaceReport rep = pipe.run({});
+  EXPECT_GT(rep.t_gp, 0.0);
+  EXPECT_GE(rep.t_total, rep.t_gp);
+  EXPECT_GT(rep.hpwl_gp, 0.0);
+  EXPECT_GT(rep.hpwl_legal, 0.0);
+}
+
+TEST(StructurePlacer, AlignmentWeightZeroStillLegal) {
+  Pipe pipe("dp_add32");
+  PlacerConfig c;
+  c.alignment_weight = 0.0;
+  const PlaceReport rep = pipe.run(c);
+  EXPECT_TRUE(rep.legality.legal());
+}
+
+TEST(StructurePlacer, PureGlueSaEqualsBaseline) {
+  Pipe pipe("glue");
+  PlacerConfig base;
+  base.structure_aware = false;
+  const PlaceReport rb = pipe.run(base);
+  PlacerConfig sa;
+  sa.structure_aware = true;
+  const PlaceReport rs = pipe.run(sa);
+  // No structure found, so the flows are byte-identical.
+  EXPECT_DOUBLE_EQ(rb.hpwl_final, rs.hpwl_final);
+}
+
+class SuitePlacement : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuitePlacement, DefaultFlowLegalOnEveryBenchmark) {
+  Pipe pipe(GetParam());
+  const PlaceReport rep = pipe.run({});
+  EXPECT_TRUE(rep.legality.legal())
+      << GetParam() << ": ov=" << rep.legality.overlaps
+      << " row=" << rep.legality.off_row << " out="
+      << rep.legality.out_of_core;
+  EXPECT_GT(rep.hpwl_final, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuitePlacement,
+    ::testing::Values("dp_add32", "dp_mul16", "dp_shift32", "mix50"));
+
+}  // namespace
+}  // namespace dp::core

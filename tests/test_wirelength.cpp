@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "dpgen/benchmarks.hpp"
+#include "eval/metrics.hpp"
+#include "gp/wirelength.hpp"
+#include "util/prng.hpp"
+
+namespace dp::gp {
+namespace {
+
+using netlist::CellFunc;
+using netlist::CellId;
+using netlist::NetId;
+using netlist::NetlistBuilder;
+using netlist::Placement;
+
+/// Two inverters on one net, centers at given points (pin offsets apply).
+struct TwoCellFixture {
+  TwoCellFixture() : builder(netlist::standard_library()) {
+    a = builder.add_cell("a", CellFunc::kInv);
+    b = builder.add_cell("b", CellFunc::kInv);
+    const NetId n = builder.add_net("n");
+    builder.connect(a, "Y", n);
+    builder.connect(b, "A", n);
+    nl.emplace(builder.take());
+  }
+  NetlistBuilder builder;
+  CellId a, b;
+  std::optional<netlist::Netlist> nl;
+};
+
+TEST(Hpwl, TwoPinNetExact) {
+  TwoCellFixture f;
+  Placement pl(2);
+  pl[f.a] = {0.0, 0.0};
+  pl[f.b] = {3.0, 4.0};
+  // Pin offsets shift the exact value; compute from pin positions.
+  const auto& nl = *f.nl;
+  geom::Rect box;
+  for (auto p : nl.net(0).pins) box.expand(nl.pin_position(p, pl));
+  EXPECT_DOUBLE_EQ(eval::hpwl(nl, pl), box.half_perimeter());
+}
+
+TEST(Hpwl, SinglePinNetIsZero) {
+  NetlistBuilder b(netlist::standard_library());
+  const CellId c = b.add_cell("c", CellFunc::kInv);
+  const NetId n = b.add_net("n");
+  b.connect(c, "Y", n);
+  const auto nl = b.take();
+  Placement pl(1);
+  pl[c] = {5, 5};
+  EXPECT_DOUBLE_EQ(eval::hpwl(nl, pl), 0.0);
+}
+
+TEST(Hpwl, NetWeightScales) {
+  NetlistBuilder b(netlist::standard_library());
+  const CellId c1 = b.add_cell("c1", CellFunc::kInv);
+  const CellId c2 = b.add_cell("c2", CellFunc::kInv);
+  const NetId n = b.add_net("n", 3.0);
+  b.connect(c1, "Y", n);
+  b.connect(c2, "A", n);
+  const auto nl = b.take();
+  Placement pl(2);
+  pl[c1] = {0, 0};
+  pl[c2] = {1, 0};
+  EXPECT_DOUBLE_EQ(eval::hpwl(nl, pl),
+                   3.0 * eval::net_hpwl(nl, n, pl));
+}
+
+TEST(SmoothWirelength, LseUpperBoundsHpwl) {
+  TwoCellFixture f;
+  Placement pl(2);
+  pl[f.a] = {0, 0};
+  pl[f.b] = {7, 2};
+  SmoothWirelength lse(*f.nl, WirelengthModel::kLse, 1.0);
+  EXPECT_GE(lse.value(pl), eval::hpwl(*f.nl, pl) - 1e-9);
+}
+
+TEST(SmoothWirelength, WaLowerBoundsHpwl) {
+  TwoCellFixture f;
+  Placement pl(2);
+  pl[f.a] = {0, 0};
+  pl[f.b] = {7, 2};
+  SmoothWirelength wa(*f.nl, WirelengthModel::kWa, 1.0);
+  EXPECT_LE(wa.value(pl), eval::hpwl(*f.nl, pl) + 1e-9);
+}
+
+class ModelConvergence
+    : public ::testing::TestWithParam<WirelengthModel> {};
+
+TEST_P(ModelConvergence, ApproachesHpwlAsGammaShrinks) {
+  TwoCellFixture f;
+  Placement pl(2);
+  pl[f.a] = {0, 0};
+  pl[f.b] = {10, 6};
+  const double exact = eval::hpwl(*f.nl, pl);
+  SmoothWirelength model(*f.nl, GetParam(), 4.0);
+  const double loose = std::abs(model.value(pl) - exact);
+  model.set_gamma(0.05);
+  const double tight = std::abs(model.value(pl) - exact);
+  EXPECT_LT(tight, loose);
+  EXPECT_LT(tight, 0.2);
+}
+
+TEST_P(ModelConvergence, StableForDistantCells) {
+  TwoCellFixture f;
+  Placement pl(2);
+  pl[f.a] = {0, 0};
+  pl[f.b] = {1e6, 1e6};  // would overflow exp() without max-shift
+  SmoothWirelength model(*f.nl, GetParam(), 0.5);
+  EXPECT_TRUE(std::isfinite(model.value(pl)));
+}
+
+/// Finite-difference gradient validation on a random small netlist.
+TEST_P(ModelConvergence, GradientMatchesFiniteDifference) {
+  // A small ALU slice provides multi-pin nets with shared cells.
+  dpgen::Generator gen("t", 3);
+  auto a = gen.input_bus("a", 4);
+  auto b = gen.input_bus("b", 4);
+  gen.add_alu("alu", a, b);
+  const dpgen::Benchmark bench = gen.finish();
+  const auto& nl = bench.netlist;
+
+  VarMap vars(nl);
+  Placement pl = bench.placement;
+  util::Rng rng(17);
+  for (std::size_t v = 0; v < vars.num_vars(); ++v) {
+    pl[vars.cell(v)] = {rng.uniform(0, 10), rng.uniform(0, 10)};
+  }
+
+  SmoothWirelength model(nl, GetParam(), 0.8);
+  const std::size_t n = vars.num_vars();
+  std::vector<double> gx(n, 0.0), gy(n, 0.0);
+  model.eval(pl, vars, gx, gy);
+
+  const double h = 1e-5;
+  for (std::size_t v = 0; v < std::min<std::size_t>(n, 12); ++v) {
+    const CellId c = vars.cell(v);
+    const double x0 = pl[c].x;
+    pl[c].x = x0 + h;
+    const double fp = model.value(pl);
+    pl[c].x = x0 - h;
+    const double fm = model.value(pl);
+    pl[c].x = x0;
+    EXPECT_NEAR(gx[v], (fp - fm) / (2 * h), 1e-4)
+        << "cell " << nl.cell(c).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, ModelConvergence,
+                         ::testing::Values(WirelengthModel::kLse,
+                                           WirelengthModel::kWa));
+
+TEST(SmoothWirelength, WaTighterThanLse) {
+  // The WA model's defining property (Hsu/Balabanov/Chang): a tighter
+  // approximation than LSE at equal gamma, on average.
+  dpgen::Generator gen("t", 5);
+  auto a = gen.input_bus("a", 8);
+  auto b = gen.input_bus("b", 8);
+  gen.add_pipelined_adder("add", a, b, 1);
+  const auto bench = gen.finish();
+  util::Rng rng(4);
+  netlist::Placement pl = bench.placement;
+  for (CellId c = 0; c < bench.netlist.num_cells(); ++c) {
+    if (!bench.netlist.cell(c).fixed) {
+      pl[c] = {rng.uniform(0, 20), rng.uniform(0, 20)};
+    }
+  }
+  SmoothWirelength lse(bench.netlist, WirelengthModel::kLse, 1.0);
+  SmoothWirelength wa(bench.netlist, WirelengthModel::kWa, 1.0);
+  // The tightness claim is statistical, not per-instance: average the
+  // approximation error over several random placements.
+  double err_lse = 0.0, err_wa = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    for (CellId c = 0; c < bench.netlist.num_cells(); ++c) {
+      if (!bench.netlist.cell(c).fixed) {
+        pl[c] = {rng.uniform(0, 20), rng.uniform(0, 20)};
+      }
+    }
+    const double exact = eval::hpwl(bench.netlist, pl);
+    err_lse += std::abs(lse.value(pl) - exact);
+    err_wa += std::abs(wa.value(pl) - exact);
+  }
+  EXPECT_LT(err_wa, err_lse);
+}
+
+}  // namespace
+}  // namespace dp::gp
