@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_weight_sweep.dir/bench_fig5_weight_sweep.cpp.o"
+  "CMakeFiles/bench_fig5_weight_sweep.dir/bench_fig5_weight_sweep.cpp.o.d"
+  "bench_fig5_weight_sweep"
+  "bench_fig5_weight_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_weight_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

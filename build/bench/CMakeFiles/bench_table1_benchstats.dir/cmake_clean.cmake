@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_benchstats.dir/bench_table1_benchstats.cpp.o"
+  "CMakeFiles/bench_table1_benchstats.dir/bench_table1_benchstats.cpp.o.d"
+  "bench_table1_benchstats"
+  "bench_table1_benchstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_benchstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

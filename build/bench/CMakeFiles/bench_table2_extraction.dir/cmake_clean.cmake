@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_extraction.dir/bench_table2_extraction.cpp.o"
+  "CMakeFiles/bench_table2_extraction.dir/bench_table2_extraction.cpp.o.d"
+  "bench_table2_extraction"
+  "bench_table2_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

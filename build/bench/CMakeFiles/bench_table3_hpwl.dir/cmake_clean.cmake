@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_hpwl.dir/bench_table3_hpwl.cpp.o"
+  "CMakeFiles/bench_table3_hpwl.dir/bench_table3_hpwl.cpp.o.d"
+  "bench_table3_hpwl"
+  "bench_table3_hpwl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_hpwl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

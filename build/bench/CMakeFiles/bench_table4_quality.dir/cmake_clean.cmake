@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_quality.dir/bench_table4_quality.cpp.o"
+  "CMakeFiles/bench_table4_quality.dir/bench_table4_quality.cpp.o.d"
+  "bench_table4_quality"
+  "bench_table4_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

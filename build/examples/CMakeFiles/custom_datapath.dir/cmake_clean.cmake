@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_datapath.dir/custom_datapath.cpp.o"
+  "CMakeFiles/custom_datapath.dir/custom_datapath.cpp.o.d"
+  "custom_datapath"
+  "custom_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpplace_cli.dir/dpplace_cli.cpp.o"
+  "CMakeFiles/dpplace_cli.dir/dpplace_cli.cpp.o.d"
+  "dpplace_cli"
+  "dpplace_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpplace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpplace_cli.
+# This may be replaced when dependencies are built.

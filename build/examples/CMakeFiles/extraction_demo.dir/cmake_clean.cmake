@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_demo.dir/extraction_demo.cpp.o"
+  "CMakeFiles/extraction_demo.dir/extraction_demo.cpp.o.d"
+  "extraction_demo"
+  "extraction_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

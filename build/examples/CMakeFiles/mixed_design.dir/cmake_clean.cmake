@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_design.dir/mixed_design.cpp.o"
+  "CMakeFiles/mixed_design.dir/mixed_design.cpp.o.d"
+  "mixed_design"
+  "mixed_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

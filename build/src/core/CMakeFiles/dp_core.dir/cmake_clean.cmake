@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_core.dir/alignment.cpp.o"
+  "CMakeFiles/dp_core.dir/alignment.cpp.o.d"
+  "CMakeFiles/dp_core.dir/overlap.cpp.o"
+  "CMakeFiles/dp_core.dir/overlap.cpp.o.d"
+  "CMakeFiles/dp_core.dir/partition.cpp.o"
+  "CMakeFiles/dp_core.dir/partition.cpp.o.d"
+  "CMakeFiles/dp_core.dir/structure_placer.cpp.o"
+  "CMakeFiles/dp_core.dir/structure_placer.cpp.o.d"
+  "libdp_core.a"
+  "libdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

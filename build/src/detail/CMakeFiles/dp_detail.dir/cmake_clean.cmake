@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_detail.dir/detailed_placer.cpp.o"
+  "CMakeFiles/dp_detail.dir/detailed_placer.cpp.o.d"
+  "libdp_detail.a"
+  "libdp_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpgen/benchmarks.cpp" "src/dpgen/CMakeFiles/dp_dpgen.dir/benchmarks.cpp.o" "gcc" "src/dpgen/CMakeFiles/dp_dpgen.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/dpgen/generator.cpp" "src/dpgen/CMakeFiles/dp_dpgen.dir/generator.cpp.o" "gcc" "src/dpgen/CMakeFiles/dp_dpgen.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

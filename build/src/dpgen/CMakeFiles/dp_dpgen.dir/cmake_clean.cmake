@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_dpgen.dir/benchmarks.cpp.o"
+  "CMakeFiles/dp_dpgen.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/dp_dpgen.dir/generator.cpp.o"
+  "CMakeFiles/dp_dpgen.dir/generator.cpp.o.d"
+  "libdp_dpgen.a"
+  "libdp_dpgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_dpgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

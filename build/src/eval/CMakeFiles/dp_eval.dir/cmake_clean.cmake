@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_eval.dir/metrics.cpp.o"
+  "CMakeFiles/dp_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/dp_eval.dir/svg.cpp.o"
+  "CMakeFiles/dp_eval.dir/svg.cpp.o.d"
+  "libdp_eval.a"
+  "libdp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

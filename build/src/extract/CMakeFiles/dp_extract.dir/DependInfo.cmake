@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/extractor.cpp" "src/extract/CMakeFiles/dp_extract.dir/extractor.cpp.o" "gcc" "src/extract/CMakeFiles/dp_extract.dir/extractor.cpp.o.d"
+  "/root/repo/src/extract/metrics.cpp" "src/extract/CMakeFiles/dp_extract.dir/metrics.cpp.o" "gcc" "src/extract/CMakeFiles/dp_extract.dir/metrics.cpp.o.d"
+  "/root/repo/src/extract/signature.cpp" "src/extract/CMakeFiles/dp_extract.dir/signature.cpp.o" "gcc" "src/extract/CMakeFiles/dp_extract.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_extract.dir/extractor.cpp.o"
+  "CMakeFiles/dp_extract.dir/extractor.cpp.o.d"
+  "CMakeFiles/dp_extract.dir/metrics.cpp.o"
+  "CMakeFiles/dp_extract.dir/metrics.cpp.o.d"
+  "CMakeFiles/dp_extract.dir/signature.cpp.o"
+  "CMakeFiles/dp_extract.dir/signature.cpp.o.d"
+  "libdp_extract.a"
+  "libdp_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/density.cpp" "src/gp/CMakeFiles/dp_gp.dir/density.cpp.o" "gcc" "src/gp/CMakeFiles/dp_gp.dir/density.cpp.o.d"
+  "/root/repo/src/gp/global_placer.cpp" "src/gp/CMakeFiles/dp_gp.dir/global_placer.cpp.o" "gcc" "src/gp/CMakeFiles/dp_gp.dir/global_placer.cpp.o.d"
+  "/root/repo/src/gp/optimizer.cpp" "src/gp/CMakeFiles/dp_gp.dir/optimizer.cpp.o" "gcc" "src/gp/CMakeFiles/dp_gp.dir/optimizer.cpp.o.d"
+  "/root/repo/src/gp/quadratic.cpp" "src/gp/CMakeFiles/dp_gp.dir/quadratic.cpp.o" "gcc" "src/gp/CMakeFiles/dp_gp.dir/quadratic.cpp.o.d"
+  "/root/repo/src/gp/wirelength.cpp" "src/gp/CMakeFiles/dp_gp.dir/wirelength.cpp.o" "gcc" "src/gp/CMakeFiles/dp_gp.dir/wirelength.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_gp.dir/density.cpp.o"
+  "CMakeFiles/dp_gp.dir/density.cpp.o.d"
+  "CMakeFiles/dp_gp.dir/global_placer.cpp.o"
+  "CMakeFiles/dp_gp.dir/global_placer.cpp.o.d"
+  "CMakeFiles/dp_gp.dir/optimizer.cpp.o"
+  "CMakeFiles/dp_gp.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dp_gp.dir/quadratic.cpp.o"
+  "CMakeFiles/dp_gp.dir/quadratic.cpp.o.d"
+  "CMakeFiles/dp_gp.dir/wirelength.cpp.o"
+  "CMakeFiles/dp_gp.dir/wirelength.cpp.o.d"
+  "libdp_gp.a"
+  "libdp_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/legal/abacus.cpp" "src/legal/CMakeFiles/dp_legal.dir/abacus.cpp.o" "gcc" "src/legal/CMakeFiles/dp_legal.dir/abacus.cpp.o.d"
+  "/root/repo/src/legal/repair.cpp" "src/legal/CMakeFiles/dp_legal.dir/repair.cpp.o" "gcc" "src/legal/CMakeFiles/dp_legal.dir/repair.cpp.o.d"
+  "/root/repo/src/legal/rowmap.cpp" "src/legal/CMakeFiles/dp_legal.dir/rowmap.cpp.o" "gcc" "src/legal/CMakeFiles/dp_legal.dir/rowmap.cpp.o.d"
+  "/root/repo/src/legal/structure_legal.cpp" "src/legal/CMakeFiles/dp_legal.dir/structure_legal.cpp.o" "gcc" "src/legal/CMakeFiles/dp_legal.dir/structure_legal.cpp.o.d"
+  "/root/repo/src/legal/tetris.cpp" "src/legal/CMakeFiles/dp_legal.dir/tetris.cpp.o" "gcc" "src/legal/CMakeFiles/dp_legal.dir/tetris.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

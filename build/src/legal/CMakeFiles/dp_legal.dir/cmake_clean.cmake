@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_legal.dir/abacus.cpp.o"
+  "CMakeFiles/dp_legal.dir/abacus.cpp.o.d"
+  "CMakeFiles/dp_legal.dir/repair.cpp.o"
+  "CMakeFiles/dp_legal.dir/repair.cpp.o.d"
+  "CMakeFiles/dp_legal.dir/rowmap.cpp.o"
+  "CMakeFiles/dp_legal.dir/rowmap.cpp.o.d"
+  "CMakeFiles/dp_legal.dir/structure_legal.cpp.o"
+  "CMakeFiles/dp_legal.dir/structure_legal.cpp.o.d"
+  "CMakeFiles/dp_legal.dir/tetris.cpp.o"
+  "CMakeFiles/dp_legal.dir/tetris.cpp.o.d"
+  "libdp_legal.a"
+  "libdp_legal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_legal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

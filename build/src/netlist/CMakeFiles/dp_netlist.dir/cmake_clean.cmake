@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_netlist.dir/bookshelf.cpp.o"
+  "CMakeFiles/dp_netlist.dir/bookshelf.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/design.cpp.o"
+  "CMakeFiles/dp_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/library.cpp.o"
+  "CMakeFiles/dp_netlist.dir/library.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/dp_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/stats.cpp.o"
+  "CMakeFiles/dp_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/structure.cpp.o"
+  "CMakeFiles/dp_netlist.dir/structure.cpp.o.d"
+  "libdp_netlist.a"
+  "libdp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

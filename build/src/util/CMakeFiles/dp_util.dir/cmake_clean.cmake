@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_util.dir/logger.cpp.o"
+  "CMakeFiles/dp_util.dir/logger.cpp.o.d"
+  "CMakeFiles/dp_util.dir/stats.cpp.o"
+  "CMakeFiles/dp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dp_util.dir/table.cpp.o"
+  "CMakeFiles/dp_util.dir/table.cpp.o.d"
+  "libdp_util.a"
+  "libdp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

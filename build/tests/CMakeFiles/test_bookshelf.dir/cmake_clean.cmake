@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bookshelf.dir/test_bookshelf.cpp.o"
+  "CMakeFiles/test_bookshelf.dir/test_bookshelf.cpp.o.d"
+  "test_bookshelf"
+  "test_bookshelf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bookshelf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detail.dir/test_detail.cpp.o"
+  "CMakeFiles/test_detail.dir/test_detail.cpp.o.d"
+  "test_detail"
+  "test_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

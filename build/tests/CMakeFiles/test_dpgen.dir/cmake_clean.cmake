@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpgen.dir/test_dpgen.cpp.o"
+  "CMakeFiles/test_dpgen.dir/test_dpgen.cpp.o.d"
+  "test_dpgen"
+  "test_dpgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

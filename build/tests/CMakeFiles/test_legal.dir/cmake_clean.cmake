@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_legal.dir/test_legal.cpp.o"
+  "CMakeFiles/test_legal.dir/test_legal.cpp.o.d"
+  "test_legal"
+  "test_legal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_legal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

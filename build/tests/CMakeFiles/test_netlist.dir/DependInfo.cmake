@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/test_netlist.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_netlist.dir/test_netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpgen/CMakeFiles/dp_dpgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/dp_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/dp_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/legal/CMakeFiles/dp_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/detail/CMakeFiles/dp_detail.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

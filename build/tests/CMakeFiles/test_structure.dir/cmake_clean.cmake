@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_structure.dir/test_structure.cpp.o"
+  "CMakeFiles/test_structure.dir/test_structure.cpp.o.d"
+  "test_structure"
+  "test_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wirelength.dir/test_wirelength.cpp.o"
+  "CMakeFiles/test_wirelength.dir/test_wirelength.cpp.o.d"
+  "test_wirelength"
+  "test_wirelength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wirelength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
