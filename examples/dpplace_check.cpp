@@ -1,0 +1,156 @@
+// dpplace_check: design lint. Runs the check/ rule catalog over a
+// Bookshelf design + placement (or a generated benchmark) and reports
+// every violated invariant; exits nonzero when errors are found, so it
+// slots into scripted flows as a gate after placement.
+//
+// Usage:
+//   dpplace_check --aux out.aux [--groups out.groups] [options]
+//   dpplace_check --bench dp_alu32 [options]
+// Options:
+//   --level cheap|full    rule depth (default full)
+//   --categories LIST     comma list of netlist,geom,legal,structure
+//                         (default: all for --aux; netlist,structure for
+//                         --bench, whose initial placement is deliberately
+//                         unplaced and would fail legality)
+//   --json                machine-readable report on stdout
+//   --strict              exit nonzero on warnings as well as errors
+//   --max-diags N         retain at most N diagnostics (default 64)
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <optional>
+#include <string>
+
+#include "check/rules.hpp"
+#include "dpgen/benchmarks.hpp"
+#include "netlist/bookshelf.hpp"
+#include "util/logger.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--bench NAME | --aux FILE) [--groups FILE] "
+               "[--level cheap|full] [--categories LIST] [--json] "
+               "[--strict] [--max-diags N]\n",
+               argv0);
+  return 2;
+}
+
+unsigned parse_categories(const std::string& list, bool* ok) {
+  unsigned mask = 0;
+  *ok = true;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string tok =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (tok == "netlist") mask |= dp::check::kCatNetlist;
+    else if (tok == "geom") mask |= dp::check::kCatGeometry;
+    else if (tok == "legal") mask |= dp::check::kCatLegality;
+    else if (tok == "structure") mask |= dp::check::kCatStructure;
+    else if (!tok.empty()) *ok = false;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return mask;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dp;
+  util::Logger::set_level(util::LogLevel::kWarn);
+
+  std::string bench_name, aux_path, groups_path;
+  check::CheckLevel level = check::CheckLevel::kFull;
+  unsigned categories = 0;  // 0 = pick a default per input kind
+  bool json = false, strict = false;
+  std::size_t max_diags = 64;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--bench") {
+      if (const char* v = next()) bench_name = v;
+    } else if (arg == "--aux") {
+      if (const char* v = next()) aux_path = v;
+    } else if (arg == "--groups") {
+      if (const char* v = next()) groups_path = v;
+    } else if (arg == "--level") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      const std::string s = v;
+      if (s == "cheap") level = check::CheckLevel::kCheap;
+      else if (s == "full") level = check::CheckLevel::kFull;
+      else return usage(argv[0]);
+    } else if (arg == "--categories") {
+      const char* v = next();
+      bool ok = false;
+      if (v != nullptr) categories = parse_categories(v, &ok);
+      if (v == nullptr || !ok || categories == 0) return usage(argv[0]);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--max-diags") {
+      if (const char* v = next()) max_diags = std::strtoul(v, nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (bench_name.empty() == aux_path.empty()) return usage(argv[0]);
+
+  std::optional<dpgen::Benchmark> generated;
+  std::optional<netlist::BookshelfDesign> loaded;
+  std::optional<netlist::StructureAnnotation> sidecar;
+  try {
+    if (!bench_name.empty()) {
+      generated.emplace(dpgen::make_benchmark(bench_name));
+      if (categories == 0) {
+        categories = check::kCatNetlist | check::kCatStructure;
+      }
+    } else {
+      loaded.emplace(netlist::read_bookshelf(aux_path));
+      if (categories == 0) categories = check::kCatAll;
+    }
+    if (!groups_path.empty()) {
+      const netlist::Netlist& for_groups =
+          generated ? generated->netlist : loaded->netlist;
+      sidecar.emplace(netlist::read_groups(groups_path, for_groups));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dpplace_check: %s\n", e.what());
+    return 2;
+  }
+  const netlist::Netlist& nl =
+      generated ? generated->netlist : loaded->netlist;
+
+  check::CheckContext ctx;
+  ctx.netlist = &nl;
+  ctx.design = generated ? &generated->design : &loaded->design;
+  ctx.placement = generated ? &generated->placement : &loaded->placement;
+  if (sidecar) {
+    ctx.structure = &*sidecar;
+  } else if (generated) {
+    ctx.structure = &generated->truth;
+  }
+
+  check::DiagnosticSink sink(max_diags);
+  const check::CheckSummary summary =
+      check::run_checks(ctx, sink, level, categories);
+
+  if (json) {
+    std::printf("%s\n", check::format_json(sink, &nl).c_str());
+  } else {
+    std::printf("%s", check::format_text(sink, &nl).c_str());
+    std::printf("%zu rule(s) run on %s\n", summary.rules_run,
+                bench_name.empty() ? aux_path.c_str() : bench_name.c_str());
+  }
+  if (sink.num_errors() > 0) return 1;
+  if (strict && sink.num_warnings() > 0) return 1;
+  return 0;
+}

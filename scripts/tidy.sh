@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over every source file under src/.
+#
+# Usage: scripts/tidy.sh [build-dir] [extra clang-tidy args...]
+#   build-dir must hold a compile_commands.json; it is configured with
+#   CMAKE_EXPORT_COMPILE_COMMANDS on demand if missing.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy.sh: clang-tidy not found on PATH; skipping" >&2
+  exit 0
+fi
+
+if [ ! -f "$build/compile_commands.json" ]; then
+  cmake -B "$build" -S "$repo" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t files < <(find "$repo/src" -name '*.cpp' | sort)
+echo "tidy.sh: checking ${#files[@]} files against $build/compile_commands.json"
+
+status=0
+for f in "${files[@]}"; do
+  clang-tidy -p "$build" --quiet "$@" "$f" || status=1
+done
+exit $status

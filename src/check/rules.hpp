@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+
+#include "check/diagnostics.hpp"
+#include "netlist/design.hpp"
+#include "netlist/structure.hpp"
+
+namespace dp::check {
+
+/// Rule families, usable as a bitmask to select which families run.
+enum : unsigned {
+  kCatNetlist = 1u << 0,    ///< referential integrity of the hypergraph
+  kCatGeometry = 1u << 1,   ///< coordinate sanity of a placement
+  kCatLegality = 1u << 2,   ///< row/site alignment and overlap
+  kCatStructure = 1u << 3,  ///< datapath-group well-formedness
+  kCatAll = (1u << 4) - 1,
+};
+
+/// How much checking the pipeline hooks do. kCheap runs the linear-time
+/// rules only; kFull adds the sweeps (pairwise overlap, stage typing).
+enum class CheckLevel : std::uint8_t { kOff, kCheap, kFull };
+
+/// Everything a rule may look at. `netlist` is mandatory; rules whose
+/// other inputs are absent are skipped silently, so one context type
+/// serves netlist-only lints and full placement audits alike.
+struct CheckContext {
+  const netlist::Netlist* netlist = nullptr;
+  const netlist::Design* design = nullptr;
+  const netlist::Placement* placement = nullptr;
+  const netlist::StructureAnnotation* structure = nullptr;
+  /// Baseline for the fixed-cell immobility rule: fixed cells must sit
+  /// exactly where this placement has them.
+  const netlist::Placement* fixed_reference = nullptr;
+  /// Geometric slack for in-core / alignment / overlap tests. Phase hooks
+  /// loosen this after global placement (cells are not yet snapped).
+  double tolerance = 1e-6;
+};
+
+/// Static description of one rule in the catalog.
+struct RuleInfo {
+  const char* id;
+  unsigned category;
+  bool cheap;  ///< runs at CheckLevel::kCheap
+  const char* summary;
+};
+
+/// The full rule catalog, in execution order.
+std::span<const RuleInfo> rule_catalog();
+
+/// Outcome counts of one run_checks() call.
+struct CheckSummary {
+  std::size_t rules_run = 0;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+
+  bool ok() const { return errors == 0; }
+};
+
+/// Run every catalog rule matching `level` and `categories` whose inputs
+/// are present in `ctx`, reporting findings into `sink`. Returns the
+/// counts contributed by this call alone (the sink may be shared across
+/// phases and accumulate).
+CheckSummary run_checks(const CheckContext& ctx, DiagnosticSink& sink,
+                        CheckLevel level = CheckLevel::kFull,
+                        unsigned categories = kCatAll);
+
+}  // namespace dp::check

@@ -22,6 +22,31 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
   util::Timer total;
   util::Timer stage;
 
+  // Phase hooks: after each phase, run the rule families that phase is
+  // responsible for, so corruption is caught where it was introduced. The
+  // input placement is snapshotted as the fixed-cell immobility baseline.
+  netlist::Placement fixed_reference;
+  if (config_.check_level != check::CheckLevel::kOff) fixed_reference = pl;
+  auto run_phase_checks = [&](const char* phase, unsigned categories,
+                              double tolerance) {
+    if (config_.check_level == check::CheckLevel::kOff) return;
+    check::CheckContext ctx;
+    ctx.netlist = nl_;
+    ctx.design = design_;
+    ctx.placement = &pl;
+    ctx.structure =
+        report.structure.groups.empty() ? nullptr : &report.structure;
+    ctx.fixed_reference = &fixed_reference;
+    ctx.tolerance = tolerance;
+    const check::CheckSummary summary = check::run_checks(
+        ctx, report.diagnostics, config_.check_level, categories);
+    report.checks.push_back({phase, summary});
+    if (summary.errors > 0) {
+      util::Logger::warn("check[%s]: %zu error(s), %zu warning(s)", phase,
+                         summary.errors, summary.warnings);
+    }
+  };
+
   // ---- phase 1: datapath structure ---------------------------------------
   if (config_.structure_aware) {
     if (config_.use_truth_structure && truth != nullptr) {
@@ -39,6 +64,8 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
                        report.structure.total_cells());
   }
   report.t_extract = stage.seconds();
+  run_phase_checks("extract", check::kCatNetlist | check::kCatStructure,
+                   1e-6);
   stage.restart();
 
   // ---- phase 2: global placement ------------------------------------------
@@ -149,6 +176,19 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
         eval::alignment_score(*nl_, pl, report.structure).rms_misalignment;
   }
   report.t_gp = stage.seconds();
+  // Cells are not yet snapped to rows and the optimizer clamps centers
+  // (not edges) to the core, so tolerate up to the widest movable cell's
+  // half-extent of overhang until legalization pulls everything in.
+  if (config_.check_level != check::CheckLevel::kOff) {
+    double max_half_extent = 0.0;
+    for (netlist::CellId c = 0; c < nl_->num_cells(); ++c) {
+      if (nl_->cell(c).fixed) continue;
+      max_half_extent = std::max(
+          max_half_extent,
+          std::max(nl_->cell_width(c), nl_->cell_height(c)) / 2.0);
+    }
+    run_phase_checks("gp", check::kCatGeometry, max_half_extent + 1e-6);
+  }
   stage.restart();
 
   // ---- phase 3: legalization ------------------------------------------------
@@ -306,6 +346,7 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
   }
   report.hpwl_legal = eval::hpwl(*nl_, pl);
   report.t_legal = stage.seconds();
+  run_phase_checks("legal", check::kCatGeometry | check::kCatLegality, 1e-6);
   stage.restart();
 
   // ---- phase 4: detailed placement -----------------------------------------
@@ -322,6 +363,7 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
     report.detail_stats = detailer.run(pl, config_.detail);
   }
   report.t_detail = stage.seconds();
+  run_phase_checks("detail", check::kCatGeometry | check::kCatLegality, 1e-6);
 
   // ---- reporting -------------------------------------------------------------
   report.hpwl_final = eval::hpwl(*nl_, pl);

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "check/rules.hpp"
 #include "core/alignment.hpp"
 #include "core/partition.hpp"
 #include "detail/detailed_placer.hpp"
@@ -76,6 +77,19 @@ struct PlacerConfig {
   /// Legalizer for the baseline flow. Abacus (default) is the stronger
   /// baseline; Tetris matches what the structure flow uses for glue.
   BaselineLegalizer baseline_legalizer = BaselineLegalizer::kAbacus;
+
+  /// Invariant checking between pipeline phases (see check::run_checks):
+  /// kOff = no checking (default), kCheap = the linear-time rules after
+  /// every phase, kFull = the whole catalog including the overlap sweep.
+  /// Findings land in PlaceReport::checks / PlaceReport::diagnostics, so
+  /// corruption is caught at the phase that introduced it.
+  check::CheckLevel check_level = check::CheckLevel::kOff;
+};
+
+/// Invariant-check outcome of one pipeline phase hook.
+struct PhaseCheck {
+  std::string phase;  ///< "extract", "gp", "legal" or "detail"
+  check::CheckSummary summary;
 };
 
 /// Per-stage runtimes and quality of one placement run.
@@ -112,6 +126,15 @@ struct PlaceReport {
   netlist::StructureAnnotation structure;
   std::size_t extraction_seeds = 0;
   double extraction_seconds = 0.0;
+
+  /// Phase-hook check results, in pipeline order (empty when
+  /// PlacerConfig::check_level == kOff).
+  std::vector<PhaseCheck> checks;
+  /// The diagnostics all phase hooks reported into.
+  check::DiagnosticSink diagnostics;
+
+  /// True iff no phase hook reported an error.
+  bool checks_ok() const { return diagnostics.ok(); }
 };
 
 /// The complete structure-aware placement pipeline of the paper:

@@ -45,18 +45,63 @@ double datapath_hpwl(const netlist::Netlist& nl, const netlist::Placement& pl,
   return total;
 }
 
+namespace {
+
+struct Placed {
+  double lx, hx;
+  CellId cell;
+};
+
+/// Movable cells bucketed by the row nearest their center, sorted by left
+/// edge. Shared by check_legality and overlap_pairs.
+std::vector<std::vector<Placed>> bucket_by_row(const netlist::Netlist& nl,
+                                               const netlist::Design& design,
+                                               const netlist::Placement& pl) {
+  std::vector<std::vector<Placed>> rows(design.num_rows());
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(c).fixed) continue;
+    const double w = nl.cell_width(c);
+    const double lx = pl[c].x - w / 2.0;
+    const std::size_t r = design.nearest_row(pl[c].y);
+    rows[r].push_back({lx, lx + w, c});
+  }
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end(),
+              [](const Placed& a, const Placed& b) { return a.lx < b.lx; });
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<OverlapPair> overlap_pairs(const netlist::Netlist& nl,
+                                       const netlist::Design& design,
+                                       const netlist::Placement& pl,
+                                       double tolerance,
+                                       std::size_t max_pairs) {
+  std::vector<OverlapPair> pairs;
+  const auto rows = bucket_by_row(nl, design, pl);
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      for (std::size_t j = i + 1; j < row.size(); ++j) {
+        const double ov = row[i].hx - row[j].lx;
+        if (ov <= tolerance) break;  // sorted by lx: nothing further overlaps
+        const double width = std::min(ov, row[j].hx - row[j].lx);
+        pairs.push_back(
+            {row[i].cell, row[j].cell, width * design.row_height()});
+        if (pairs.size() >= max_pairs) return pairs;
+      }
+    }
+  }
+  return pairs;
+}
+
 LegalityReport check_legality(const netlist::Netlist& nl,
                               const netlist::Design& design,
                               const netlist::Placement& pl, double tolerance) {
   LegalityReport rep;
   const geom::Rect& core = design.core();
 
-  struct Placed {
-    double lx, hx;
-    CellId cell;
-  };
-  // Bucket movable cells by row, then sweep each row for overlaps.
-  std::vector<std::vector<Placed>> rows(design.num_rows());
   for (CellId c = 0; c < nl.num_cells(); ++c) {
     if (nl.cell(c).fixed) continue;
     const double w = nl.cell_width(c);
@@ -76,20 +121,11 @@ LegalityReport check_legality(const netlist::Netlist& nl,
     if (std::abs(site_rel - std::round(site_rel)) > tolerance) {
       ++rep.off_site;
     }
-    const std::size_t r = design.nearest_row(ly + h / 2.0);
-    rows[r].push_back({lx, lx + w, c});
   }
 
-  for (auto& row : rows) {
-    std::sort(row.begin(), row.end(),
-              [](const Placed& a, const Placed& b) { return a.lx < b.lx; });
-    for (std::size_t i = 0; i + 1 < row.size(); ++i) {
-      const double ov = row[i].hx - row[i + 1].lx;
-      if (ov > tolerance) {
-        ++rep.overlaps;
-        rep.total_overlap_area += ov * design.row_height();
-      }
-    }
+  for (const OverlapPair& p : overlap_pairs(nl, design, pl, tolerance)) {
+    ++rep.overlaps;
+    rep.total_overlap_area += p.area;
   }
   return rep;
 }

@@ -40,6 +40,23 @@ LegalityReport check_legality(const netlist::Netlist& netlist,
                               const netlist::Placement& pl,
                               double tolerance = 1e-6);
 
+/// One pair of overlapping movable cells found by the row sweep.
+struct OverlapPair {
+  netlist::CellId a = netlist::kInvalidId;
+  netlist::CellId b = netlist::kInvalidId;
+  double area = 0.0;
+};
+
+/// All pairs of overlapping movable cells, via a row-bucketed sweep
+/// (cells are assigned to the row nearest their center; off-row cells are
+/// the row-alignment check's problem). Collection stops after `max_pairs`
+/// so a fully collapsed placement cannot produce a quadratic result list.
+std::vector<OverlapPair> overlap_pairs(const netlist::Netlist& netlist,
+                                       const netlist::Design& design,
+                                       const netlist::Placement& pl,
+                                       double tolerance = 1e-6,
+                                       std::size_t max_pairs = 100000);
+
 /// Structure alignment quality of a placement, for one annotation.
 ///
 /// For each group the score measures how tightly each bit slice hugs a

@@ -52,6 +52,13 @@ struct Rect {
     return p.x >= lx && p.x <= hx && p.y >= ly && p.y <= hy;
   }
 
+  /// True iff `o` lies fully inside this rectangle, grown by `tol` on
+  /// every side.
+  bool contains(const Rect& o, double tol = 0.0) const {
+    return o.lx >= lx - tol && o.hx <= hx + tol && o.ly >= ly - tol &&
+           o.hy <= hy + tol;
+  }
+
   bool intersects(const Rect& o) const {
     return !empty() && !o.empty() && lx < o.hx && o.lx < hx && ly < o.hy &&
            o.ly < hy;

@@ -117,11 +117,30 @@ class Netlist {
 
  private:
   friend class NetlistBuilder;
+  friend class NetlistSurgeon;
 
   std::shared_ptr<const Library> library_;
   std::vector<Cell> cells_;
   std::vector<Net> nets_;
   std::vector<Pin> pins_;
+};
+
+/// Deliberate-corruption escape hatch: mutable access to the topology
+/// records that are otherwise append-only behind NetlistBuilder. Exists so
+/// the check/ subsystem's tests can break referential integrity on purpose
+/// (dangling pin ids, flipped directions, bad weights) and assert the
+/// matching rule fires. Production code must never use this — src/check
+/// exists to catch exactly the states it can create.
+class NetlistSurgeon {
+ public:
+  explicit NetlistSurgeon(Netlist& netlist) : netlist_(&netlist) {}
+
+  Cell& cell(CellId id) { return netlist_->cells_[id]; }
+  Net& net(NetId id) { return netlist_->nets_[id]; }
+  Pin& pin(PinId id) { return netlist_->pins_[id]; }
+
+ private:
+  Netlist* netlist_;
 };
 
 /// Incrementally constructs a Netlist. Used by the benchmark generator and

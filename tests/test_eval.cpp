@@ -63,6 +63,36 @@ TEST(Legality, DetectsOffSite) {
   EXPECT_GT(check_legality(*rb.nl, *rb.design, pl).off_site, 0u);
 }
 
+TEST(OverlapPairs, WideCellOverlapsTwoNeighbors) {
+  netlist::NetlistBuilder b(netlist::standard_library());
+  // FA is 10 sites (2.5 units) wide; the two INVs (0.75) tuck under it.
+  const CellId fa = b.add_cell("fa", CellFunc::kFullAdder);
+  const CellId i1 = b.add_cell("i1", CellFunc::kInv);
+  const CellId i2 = b.add_cell("i2", CellFunc::kInv);
+  const auto nl = b.take();
+  const netlist::Design design(geom::Rect{0, 0, 10, 4}, 1.0, 0.25);
+  Placement pl(3);
+  pl[fa] = {1.25, 0.5};  // spans [0, 2.5]
+  pl[i1] = {0.5 + 0.375, 0.5};
+  pl[i2] = {1.5 + 0.375, 0.5};
+  const auto pairs = overlap_pairs(nl, design, pl);
+  EXPECT_EQ(pairs.size(), 2u);
+  const auto rep = check_legality(nl, design, pl);
+  EXPECT_EQ(rep.overlaps, 2u);
+}
+
+TEST(OverlapPairs, RespectsPairCap) {
+  netlist::NetlistBuilder b(netlist::standard_library());
+  for (int i = 0; i < 10; ++i) {
+    b.add_cell("c" + std::to_string(i), CellFunc::kInv);
+  }
+  const auto nl = b.take();
+  const netlist::Design design(geom::Rect{0, 0, 10, 4}, 1.0, 0.25);
+  Placement pl(10, geom::Point{1.0, 0.5});  // all stacked: 45 pairs
+  EXPECT_EQ(overlap_pairs(nl, design, pl).size(), 45u);
+  EXPECT_EQ(overlap_pairs(nl, design, pl, 1e-6, 7).size(), 7u);
+}
+
 TEST(Legality, DetectsOutOfCore) {
   RowBench rb;
   Placement pl(2);
