@@ -1,11 +1,20 @@
 // Micro-benchmarks (google-benchmark): per-evaluation cost of the placer
-// kernels on dp_alu32-sized data.
+// kernels on dp_alu32-sized data, including thread-count sweeps for the
+// parallel gradient kernels. Unless the caller passes --benchmark_out,
+// results are also written to BENCH_gp_kernels.json (machine-readable,
+// consumed by CI).
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "common.hpp"
 #include "extract/extractor.hpp"
 #include "gp/density.hpp"
 #include "gp/wirelength.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -57,6 +66,48 @@ void BM_DensityGradient(benchmark::State& state) {
 }
 BENCHMARK(BM_DensityGradient);
 
+// Thread-count sweep (1/2/4/hardware) for the parallel kernels. The
+// arg is the total worker count handed to the pool; results are bitwise
+// identical across the sweep, only the wall time may change.
+void thread_args(benchmark::internal::Benchmark* b) {
+  std::vector<long> counts = {1, 2, 4};
+  const long hw = static_cast<long>(std::thread::hardware_concurrency());
+  if (hw > 4) counts.push_back(hw);
+  for (const long c : counts) b->Arg(c);
+}
+
+void BM_WirelengthEvalThreads(benchmark::State& state) {
+  const auto& b = bench_data();
+  const dp::gp::VarMap vars(b.netlist);
+  dp::gp::SmoothWirelength wl(b.netlist, dp::gp::WirelengthModel::kWa, 1.0);
+  wl.set_thread_pool(std::make_shared<dp::util::ThreadPool>(
+      static_cast<std::size_t>(state.range(0))));
+  std::vector<double> gx(vars.num_vars()), gy(vars.num_vars());
+  const auto& pl = b.placement;
+  for (auto _ : state) {
+    std::fill(gx.begin(), gx.end(), 0.0);
+    std::fill(gy.begin(), gy.end(), 0.0);
+    benchmark::DoNotOptimize(wl.eval(pl, vars, gx, gy));
+  }
+}
+BENCHMARK(BM_WirelengthEvalThreads)->Apply(thread_args);
+
+void BM_DensityEvalThreads(benchmark::State& state) {
+  const auto& b = bench_data();
+  const dp::gp::VarMap vars(b.netlist);
+  dp::gp::DensityPenalty den(b.netlist, b.design);
+  den.set_thread_pool(std::make_shared<dp::util::ThreadPool>(
+      static_cast<std::size_t>(state.range(0))));
+  std::vector<double> gx(vars.num_vars()), gy(vars.num_vars());
+  const auto& pl = b.placement;
+  for (auto _ : state) {
+    std::fill(gx.begin(), gx.end(), 0.0);
+    std::fill(gy.begin(), gy.end(), 0.0);
+    benchmark::DoNotOptimize(den.eval(pl, vars, gx, gy));
+  }
+}
+BENCHMARK(BM_DensityEvalThreads)->Apply(thread_args);
+
 void BM_Extraction(benchmark::State& state) {
   const auto& b = bench_data();
   for (auto _ : state) {
@@ -75,4 +126,29 @@ BENCHMARK(BM_Signatures);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_gp_kernels.json (JSON format) when the caller didn't choose an
+// output file, so a bare run always leaves a machine-readable record.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_gp_kernels.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int args_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&args_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,6 +9,9 @@
 //   --baseline            structure-oblivious flow (default: structure-aware)
 //   --blocks              template-block legalization (default: gentle)
 //   --weight W            alignment weight (default 0.5)
+//   --threads N           gradient-kernel worker threads (default 0 =
+//                         hardware concurrency; results are identical for
+//                         every N)
 //   --out PREFIX          write PREFIX.{aux,nodes,nets,pl,scl}
 //   --svg FILE            write an SVG rendering
 //   --groups FILE         write the extracted structure annotation
@@ -33,8 +36,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--bench NAME | --aux FILE) [--baseline] "
-               "[--blocks] [--weight W] [--out PREFIX] [--svg FILE] "
-               "[--groups FILE]\n",
+               "[--blocks] [--weight W] [--threads N] [--out PREFIX] "
+               "[--svg FILE] [--groups FILE]\n",
                argv0);
   return 2;
 }
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
 
   std::string bench_name, aux_path, out_prefix, svg_path, groups_path;
   core::PlacerConfig config;
+  config.num_threads = 0;  // CLI default: use all hardware threads
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -62,6 +66,10 @@ int main(int argc, char** argv) {
       config.legalization = core::LegalizationMode::kStructured;
     } else if (arg == "--weight") {
       if (const char* v = next()) config.alignment_weight = std::atof(v);
+    } else if (arg == "--threads") {
+      if (const char* v = next()) {
+        config.num_threads = static_cast<std::size_t>(std::atol(v));
+      }
     } else if (arg == "--out") {
       if (const char* v = next()) out_prefix = v;
     } else if (arg == "--svg") {
@@ -104,6 +112,8 @@ int main(int argc, char** argv) {
       timer.seconds(), report.hpwl_final, report.hpwl_gp, report.hpwl_legal,
       report.structure.groups.size(), report.alignment.rms_misalignment,
       report.legality.legal() ? "yes" : "NO");
+  std::printf("gp eval profile: %s\n",
+              report.gp_result.profile.to_string().c_str());
 
   if (!out_prefix.empty()) {
     netlist::write_bookshelf(out_prefix, nl, design, pl);

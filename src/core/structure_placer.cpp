@@ -22,6 +22,10 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
   util::Timer total;
   util::Timer stage;
 
+  // Every GpOptions copy taken below inherits the pipeline-level thread
+  // count.
+  config_.gp.num_threads = config_.num_threads;
+
   // Phase hooks: after each phase, run the rule families that phase is
   // responsible for, so corruption is caught where it was introduced. The
   // input placement is snapshotted as the fixed-cell immobility baseline.
@@ -142,10 +146,12 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
     PlateOverlapPenalty plate_overlap(*nl_, report.structure, *design_);
     phase_b.add_term({alignment.get(),
                       make_schedule(phase_b, *alignment,
-                                    config_.alignment_weight)});
+                                    config_.alignment_weight),
+                      "alignment"});
     phase_b.add_term({&plate_overlap,
                       make_schedule(phase_b, plate_overlap,
-                                    config_.alignment_weight)});
+                                    config_.alignment_weight),
+                      "overlap"});
     gp::GpResult res_b = phase_b.place(pl);
 
     const std::size_t offset = report.gp_result.trace.size();
@@ -157,6 +163,7 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
     report.gp_result.final_overflow = res_b.final_overflow;
     report.gp_result.total_cg_iterations += res_b.total_cg_iterations;
     report.gp_result.total_evaluations += res_b.total_evaluations;
+    report.gp_result.profile.merge(res_b.profile);
   }
   report.hpwl_gp = report.gp_result.final_hpwl;
   if (util::Logger::level() <= util::LogLevel::kDebug) {
@@ -239,10 +246,10 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
       gp::GlobalPlacer glue_placer(*nl_, *design_, opt,
                                    gp::VarMap(*nl_, mask));
       const auto res = glue_placer.place(pl2);
+      report.gp_result.profile.merge(res.profile);
       util::Logger::debug(
           "glue gp: %zu cells, hpwl %.1f -> %.1f (%zu outers, overflow %.3f)",
           n, before, res.final_hpwl, res.trace.size(), res.final_overflow);
-      (void)report;
     };
     auto stats = legalizer.run(pl, glue_gp);
     if (stats.groups_fallback > 0) {
@@ -318,8 +325,10 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
                     std::min<double>(
                         4096.0,
                         std::pow(2.0, static_cast<double>(ctx.outer)));
-           }});
-      refiner.place(pl);
+           },
+           "overlap"});
+      const gp::GpResult refine_res = refiner.place(pl);
+      report.gp_result.profile.merge(refine_res.profile);
 
       legal::StructureLegalizer legalizer2(*nl_, *design_, report.structure,
                                            along_y);

@@ -41,6 +41,12 @@ struct PlacerConfig {
   detail::DetailOptions detail;
   PartitionOptions partition;
 
+  /// Worker threads for every global-placement phase's gradient kernels
+  /// (0 = hardware concurrency). Copied into `gp.num_threads` at the
+  /// start of place(); results are bitwise identical for any value (see
+  /// gp::GpOptions::num_threads).
+  std::size_t num_threads = 1;
+
   /// Weight of the alignment penalty once activated. Swept by the
   /// reconstructed Fig. 5 ablation.
   double alignment_weight = 0.5;

@@ -4,12 +4,18 @@
 #include <cmath>
 
 #include "geom/rect.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dp::gp {
 
 using netlist::CellId;
 
 namespace {
+
+/// Chunk/block counts are fixed (independent of the thread count), so
+/// every pass produces the same floating-point result for any pool size.
+constexpr std::size_t kMaxParts = 64;
+constexpr std::size_t kMinCellsPerChunk = 512;
 
 /// Smallest power of two >= x (x >= 1).
 std::size_t pow2_at_least(double x) {
@@ -107,6 +113,7 @@ void DensityPenalty::set_area_scale(std::vector<double> scale) {
     }
   }
   target_per_bin_ = scaled_total / static_cast<double>(nb_ * nb_);
+  overflow_vars_ = nullptr;  // invalidate the cached overflow denominator
 }
 
 double DensityPenalty::eval(const netlist::Placement& pl, const VarMap& vars,
@@ -117,15 +124,31 @@ double DensityPenalty::eval(const netlist::Placement& pl, const VarMap& vars,
   const auto nbi = static_cast<long long>(nb_);
   density_ = preload_;
 
-  struct Footprint {
-    long long bx0, bx1, by0, by1;
-    double inv_norm;
-  };
   const auto movable = vars.movable_cells();
-  std::vector<Footprint> foot(movable.size());
+  const std::size_t n_mov = movable.size();
+  foot_.resize(n_mov);
 
-  // Pass 1: accumulate smoothed density.
-  for (std::size_t v = 0; v < movable.size(); ++v) {
+  // Fixed cell chunking shared by the footprint and gradient passes.
+  const std::size_t cell_chunks =
+      std::clamp<std::size_t>(n_mov / kMinCellsPerChunk, 1, kMaxParts);
+  const std::size_t cells_per_chunk =
+      n_mov > 0 ? (n_mov + cell_chunks - 1) / cell_chunks : 0;
+  auto for_cells = [&](auto&& body) {
+    if (n_mov == 0) return;
+    auto task = [&](std::size_t k) {
+      const std::size_t v1 =
+          std::min(n_mov, (k + 1) * cells_per_chunk);
+      for (std::size_t v = k * cells_per_chunk; v < v1; ++v) body(v);
+    };
+    if (pool_ != nullptr) {
+      pool_->run(cell_chunks, task);
+    } else {
+      for (std::size_t k = 0; k < cell_chunks; ++k) task(k);
+    }
+  };
+
+  // Pass 0: footprints and per-cell normalization (independent per cell).
+  for_cells([&](std::size_t v) {
     const CellId c = movable[v];
     const double wc = nl.cell_width(c);
     const double hc = nl.cell_height(c);
@@ -155,39 +178,86 @@ double DensityPenalty::eval(const netlist::Placement& pl, const VarMap& vars,
         norm += px.p * py.p;
       }
     }
-    f.inv_norm =
-        norm > 0.0 ? nl.cell_area(c) * area_scale_[c] / norm : 0.0;
-    foot[v] = f;
+    f.inv_norm = norm > 0.0 ? nl.cell_area(c) * area_scale_[c] / norm : 0.0;
+    foot_[v] = f;
+  });
 
-    if (f.inv_norm == 0.0) continue;
-    for (long long by = f.by0; by <= f.by1; ++by) {
-      const double bcy = core.ly + (static_cast<double>(by) + 0.5) * bh_;
-      const Bell py = bell(cy - bcy, hc, bh_);
-      if (py.p == 0.0) continue;
-      for (long long bx = f.bx0; bx <= f.bx1; ++bx) {
-        const double bcx = core.lx + (static_cast<double>(bx) + 0.5) * bw_;
-        const Bell px = bell(cx - bcx, wc, bw_);
-        density_[static_cast<std::size_t>(by) * nb_ +
-                 static_cast<std::size_t>(bx)] += f.inv_norm * px.p * py.p;
-      }
+  // Pass 1: accumulate smoothed density, partitioned by bin-row blocks.
+  // Every bin row has exactly one owning block, which adds contributions
+  // in ascending cell order -- the same order as a serial sweep, so the
+  // grid is bitwise identical for any thread count, with no reduction.
+  const std::size_t num_blocks = std::min(nb_, kMaxParts);
+  const std::size_t rows_per_block = (nb_ + num_blocks - 1) / num_blocks;
+  block_cells_.resize(num_blocks);
+  for (auto& b : block_cells_) b.clear();
+  for (std::size_t v = 0; v < n_mov; ++v) {
+    if (foot_[v].inv_norm == 0.0) continue;
+    const auto b0 = static_cast<std::size_t>(foot_[v].by0) / rows_per_block;
+    const auto b1 = static_cast<std::size_t>(foot_[v].by1) / rows_per_block;
+    for (std::size_t b = b0; b <= b1; ++b) {
+      block_cells_[b].push_back(static_cast<std::uint32_t>(v));
     }
   }
 
-  // Penalty value. In one-sided mode, under-full bins are free.
   const bool one_sided = one_sided_cap_ >= 0.0;
   const double target = one_sided ? one_sided_cap_ : target_per_bin_;
-  double value = 0.0;
-  for (double d : density_) {
-    double e = d - target;
-    if (one_sided && e < 0.0) e = 0.0;
-    value += e * e;
+  block_value_.assign(num_blocks, 0.0);
+
+  auto block_task = [&](std::size_t b) {
+    const auto r0 = static_cast<long long>(b * rows_per_block);
+    const auto r1 = std::min<long long>(
+        nbi, static_cast<long long>((b + 1) * rows_per_block));
+    for (const std::uint32_t v : block_cells_[b]) {
+      const Footprint& f = foot_[v];
+      const CellId c = movable[v];
+      const double wc = nl.cell_width(c);
+      const double hc = nl.cell_height(c);
+      const double cx = pl[c].x;
+      const double cy = pl[c].y;
+      const long long by_lo = std::max(f.by0, r0);
+      const long long by_hi = std::min(f.by1, r1 - 1);
+      for (long long by = by_lo; by <= by_hi; ++by) {
+        const double bcy = core.ly + (static_cast<double>(by) + 0.5) * bh_;
+        const Bell py = bell(cy - bcy, hc, bh_);
+        if (py.p == 0.0) continue;
+        for (long long bx = f.bx0; bx <= f.bx1; ++bx) {
+          const double bcx = core.lx + (static_cast<double>(bx) + 0.5) * bw_;
+          const Bell px = bell(cx - bcx, wc, bw_);
+          density_[static_cast<std::size_t>(by) * nb_ +
+                   static_cast<std::size_t>(bx)] += f.inv_norm * px.p * py.p;
+        }
+      }
+    }
+    // The block's rows are final now; fold its share of the penalty
+    // value. In one-sided mode, under-full bins are free.
+    double value = 0.0;
+    const std::size_t i0 = static_cast<std::size_t>(r0) * nb_;
+    const std::size_t i1 = static_cast<std::size_t>(r1) * nb_;
+    for (std::size_t i = i0; i < i1; ++i) {
+      double e = density_[i] - target;
+      if (one_sided && e < 0.0) e = 0.0;
+      value += e * e;
+    }
+    block_value_[b] = value;
+  };
+  if (pool_ != nullptr) {
+    pool_->run(num_blocks, block_task);
+  } else {
+    for (std::size_t b = 0; b < num_blocks; ++b) block_task(b);
   }
+  double value = 0.0;
+  for (const double v : block_value_) value += v;
 
   // Pass 2: gradient via chain rule (normalization treated as constant,
-  // the standard NTUplace approximation).
-  for (std::size_t v = 0; v < movable.size(); ++v) {
-    const Footprint& f = foot[v];
-    if (f.inv_norm == 0.0) continue;
+  // the standard NTUplace approximation). Embarrassingly parallel over
+  // cells into per-cell slots.
+  cell_gx_.resize(n_mov);
+  cell_gy_.resize(n_mov);
+  for_cells([&](std::size_t v) {
+    const Footprint& f = foot_[v];
+    cell_gx_[v] = 0.0;
+    cell_gy_[v] = 0.0;
+    if (f.inv_norm == 0.0) return;
     const CellId c = movable[v];
     const double wc = nl.cell_width(c);
     const double hc = nl.cell_height(c);
@@ -208,8 +278,16 @@ double DensityPenalty::eval(const netlist::Placement& pl, const VarMap& vars,
         gy_acc += 2.0 * err * f.inv_norm * px.p * py.dp;
       }
     }
-    gx[vars.var(c)] += gx_acc;
-    gy[vars.var(c)] += gy_acc;
+    cell_gx_[v] = gx_acc;
+    cell_gy_[v] = gy_acc;
+  });
+
+  // Ordered reduction into the variables (several cells may share one
+  // variable in rigid-body mode, so this stays serial and in cell order).
+  for (std::size_t v = 0; v < n_mov; ++v) {
+    const std::uint32_t var = vars.var(movable[v]);
+    gx[var] += cell_gx_[v];
+    gy[var] += cell_gy_[v];
   }
   return value;
 }
@@ -249,11 +327,18 @@ double DensityPenalty::overflow(const netlist::Placement& pl,
   const double cap = bw_ * bh_ * target_density;
   double over = 0.0;
   for (double u : usage) over += std::max(0.0, u - cap);
-  double scaled_total = 0.0;
-  for (const CellId c : vars.movable_cells()) {
-    scaled_total += nl.cell_area(c) * area_scale_[c];
+  // The scaled movable-area denominator only changes with the VarMap or
+  // the area scale; cache it instead of rescanning every call.
+  if (overflow_vars_ != &vars || overflow_num_vars_ != vars.num_vars()) {
+    double scaled_total = 0.0;
+    for (const CellId c : vars.movable_cells()) {
+      scaled_total += nl.cell_area(c) * area_scale_[c];
+    }
+    overflow_vars_ = &vars;
+    overflow_num_vars_ = vars.num_vars();
+    overflow_scaled_total_ = scaled_total;
   }
-  return scaled_total > 0.0 ? over / scaled_total : 0.0;
+  return overflow_scaled_total_ > 0.0 ? over / overflow_scaled_total_ : 0.0;
 }
 
 }  // namespace dp::gp

@@ -1,10 +1,16 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "gp/vars.hpp"
 #include "netlist/design.hpp"
+
+namespace dp::util {
+class ThreadPool;
+}
 
 namespace dp::gp {
 
@@ -17,6 +23,13 @@ namespace dp::gp {
 /// where D_b is the smoothed area in bin b and M_b the per-bin target
 /// (movable area spread uniformly). Fixed cells inside the core contribute
 /// their exact rectangle overlap to D_b as a constant preload.
+///
+/// Evaluation parallelizes in three deterministic passes: footprints and
+/// normalizations per cell chunk, accumulation partitioned by bin-row
+/// blocks (each bin has exactly one owner, which adds contributions in
+/// fixed cell order -- no reduction races, bitwise identical to the serial
+/// loop), and the gradient embarrassingly parallel over cells with an
+/// ordered per-variable reduction.
 class DensityPenalty final : public ObjectiveTerm {
  public:
   DensityPenalty(const netlist::Netlist& nl, const netlist::Design& design,
@@ -29,6 +42,12 @@ class DensityPenalty final : public ObjectiveTerm {
   /// frozen plates) cluster at its wirelength optimum instead.
   void set_one_sided(double max_density) {
     one_sided_cap_ = bw_ * bh_ * max_density;
+  }
+
+  /// Attach a worker pool for parallel evaluation; null (the default)
+  /// runs the same passes serially with identical results.
+  void set_thread_pool(std::shared_ptr<util::ThreadPool> pool) {
+    pool_ = std::move(pool);
   }
 
   /// Rebuild the fixed-area preload: every cell WITHOUT a variable in
@@ -69,6 +88,28 @@ class DensityPenalty final : public ObjectiveTerm {
   std::vector<double> preload_;         ///< fixed-cell area per bin
   std::vector<double> area_scale_;      ///< per-cell density area factor
   mutable std::vector<double> density_;  ///< scratch: smoothed D_b
+
+  std::shared_ptr<util::ThreadPool> pool_;
+
+  // Scaled movable-area total cache (satellite: was a full cell scan per
+  // overflow() call). The all-movable total feeds the per-bin target; the
+  // per-VarMap total (a subset in glue-only mode) is the overflow
+  // denominator, keyed by VarMap address and invalidated whenever the
+  // area scale changes.
+  mutable const VarMap* overflow_vars_ = nullptr;
+  mutable std::size_t overflow_num_vars_ = 0;
+  mutable double overflow_scaled_total_ = 0.0;
+
+  // Per-evaluation scratch, persistent to keep allocation out of the hot
+  // path (one evaluation in flight at a time).
+  struct Footprint {
+    long long bx0, bx1, by0, by1;
+    double inv_norm;
+  };
+  mutable std::vector<Footprint> foot_;
+  mutable std::vector<double> cell_gx_, cell_gy_;  ///< per movable index
+  mutable std::vector<double> block_value_;        ///< per row-block sums
+  mutable std::vector<std::vector<std::uint32_t>> block_cells_;
 };
 
 }  // namespace dp::gp

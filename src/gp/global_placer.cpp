@@ -5,6 +5,8 @@
 
 #include "eval/metrics.hpp"
 #include "util/logger.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace dp::gp {
 
@@ -28,6 +30,7 @@ class CompositeObjective final : public Objective {
     extras_ = extras;
     extra_weights_ = weights;
   }
+  void set_profile(EvalProfile* profile) { profile_ = profile; }
 
   double eval(std::span<const double> v, std::span<double> grad) override {
     const std::size_t n = vars_->num_vars();
@@ -40,10 +43,13 @@ class CompositeObjective final : public Objective {
     }
     vars_->scatter(clamped_, *pl_);
 
+    util::Timer timer;
     gx_.assign(n, 0.0);
     gy_.assign(n, 0.0);
     double f = wl_->eval(*pl_, *vars_, gx_, gy_);
+    if (profile_ != nullptr) profile_->wirelength.add(timer.seconds());
 
+    timer.restart();
     dgx_.assign(n, 0.0);
     dgy_.assign(n, 0.0);
     f += lambda_ * den_->eval(*pl_, *vars_, dgx_, dgy_);
@@ -51,17 +57,22 @@ class CompositeObjective final : public Objective {
       gx_[i] += lambda_ * dgx_[i];
       gy_[i] += lambda_ * dgy_[i];
     }
+    if (profile_ != nullptr) profile_->density.add(timer.seconds());
 
     if (extras_ != nullptr) {
       for (std::size_t t = 0; t < extras_->size(); ++t) {
         const double w = (*extra_weights_)[t];
         if (w == 0.0) continue;
+        timer.restart();
         dgx_.assign(n, 0.0);
         dgy_.assign(n, 0.0);
         f += w * (*extras_)[t].term->eval(*pl_, *vars_, dgx_, dgy_);
         for (std::size_t i = 0; i < n; ++i) {
           gx_[i] += w * dgx_[i];
           gy_[i] += w * dgy_[i];
+        }
+        if (profile_ != nullptr) {
+          profile_->extra((*extras_)[t].name).add(timer.seconds());
         }
       }
     }
@@ -106,6 +117,7 @@ class CompositeObjective final : public Objective {
   double lambda_ = 0.0;
   const std::vector<ExtraTerm>* extras_ = nullptr;
   const std::vector<double>* extra_weights_ = nullptr;
+  EvalProfile* profile_ = nullptr;
   std::vector<double> clamped_, gx_, gy_, dgx_, dgy_;
 };
 
@@ -119,14 +131,17 @@ GlobalPlacer::GlobalPlacer(const netlist::Netlist& nl,
                            const netlist::Design& design, GpOptions options,
                            VarMap vars)
     : nl_(&nl), design_(&design), options_(options), vars_(std::move(vars)) {
+  pool_ = std::make_shared<util::ThreadPool>(options_.num_threads);
   density_ = std::make_unique<DensityPenalty>(nl, design,
                                               options_.bins_per_side);
   if (options_.one_sided_max_density >= 0.0) {
     density_->set_one_sided(options_.one_sided_max_density);
   }
+  density_->set_thread_pool(pool_);
   const double gamma0 = options_.gamma_init_bins * density_->bin_width();
   wirelength_ =
       std::make_unique<SmoothWirelength>(nl, options_.wl_model, gamma0);
+  wirelength_->set_thread_pool(pool_);
 }
 
 std::pair<double, double> GlobalPlacer::probe_norms(
@@ -166,6 +181,7 @@ GpResult GlobalPlacer::place(netlist::Placement& pl) {
                                *density_, pl);
   std::vector<double> extra_weights(extras_.size(), 0.0);
   objective.set_extras(&extras_, &extra_weights);
+  objective.set_profile(&result.profile);
 
   std::vector<double> v = vars_.gather(pl);
 
@@ -204,6 +220,8 @@ GpResult GlobalPlacer::place(netlist::Placement& pl) {
     const CgResult inner = minimize_cg(objective, v, cg);
     result.total_cg_iterations += inner.iterations;
     result.total_evaluations += inner.evaluations;
+    result.profile.line_search.calls += inner.line_search_evals;
+    result.profile.line_search.seconds += inner.line_search_seconds;
 
     // The objective evaluates a core-clamped copy of the variables; fold
     // that projection back into the iterate so positions (and the next

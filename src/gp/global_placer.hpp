@@ -6,10 +6,15 @@
 
 #include "gp/density.hpp"
 #include "gp/optimizer.hpp"
+#include "gp/profile.hpp"
 #include "gp/quadratic.hpp"
 #include "gp/vars.hpp"
 #include "gp/wirelength.hpp"
 #include "netlist/design.hpp"
+
+namespace dp::util {
+class ThreadPool;
+}
 
 namespace dp::gp {
 
@@ -39,6 +44,11 @@ struct GpOptions {
   std::size_t bins_per_side = 0;  ///< 0 = auto from design size
   bool run_quadratic_init = true;
   QuadraticOptions quadratic;
+  /// Worker threads for the wirelength/density gradient kernels
+  /// (0 = hardware concurrency). Results are bitwise identical for every
+  /// thread count: the kernels use fixed chunk boundaries and ordered
+  /// reductions.
+  std::size_t num_threads = 1;
 };
 
 /// One sample of the convergence trace (reconstructed Fig. 3 series).
@@ -57,6 +67,8 @@ struct GpResult {
   double final_overflow = 0.0;
   std::size_t total_cg_iterations = 0;
   std::size_t total_evaluations = 0;
+  /// Per-term call counts and wall time of this run's evaluations.
+  EvalProfile profile;
 };
 
 /// Scheduling context handed to extra-term weight callbacks each outer
@@ -74,6 +86,8 @@ struct TermContext {
 struct ExtraTerm {
   const ObjectiveTerm* term = nullptr;
   std::function<double(const TermContext&)> weight;
+  /// Label under which the term's evaluations are profiled.
+  std::string name = "extra";
 };
 
 /// NTUplace3-style nonlinear analytical global placer:
@@ -115,6 +129,7 @@ class GlobalPlacer {
   const netlist::Design* design_;
   GpOptions options_;
   VarMap vars_;
+  std::shared_ptr<util::ThreadPool> pool_;
   std::unique_ptr<SmoothWirelength> wirelength_;
   std::unique_ptr<DensityPenalty> density_;
   std::vector<ExtraTerm> extras_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/timer.hpp"
+
 namespace dp::gp {
 
 namespace {
@@ -52,17 +54,20 @@ CgResult minimize_cg(Objective& objective, std::vector<double>& vars,
     // Armijo backtracking.
     double f_new = f;
     bool accepted = false;
+    const util::Timer ls_timer;
     for (std::size_t bt = 0; bt <= options.max_backtracks; ++bt) {
       for (std::size_t i = 0; i < n; ++i) trial[i] = vars[i] + alpha * dir[i];
       // Value-only probe: gradient span reused but overwritten on accept.
       f_new = objective.eval(trial, prev_grad);
       ++result.evaluations;
+      ++result.line_search_evals;
       if (f_new <= f + options.armijo_c1 * alpha * g_dot_d) {
         accepted = true;
         break;
       }
       alpha *= 0.5;
     }
+    result.line_search_seconds += ls_timer.seconds();
     if (!accepted) break;  // line search failed; gradient likely noisy
 
     vars.swap(trial);

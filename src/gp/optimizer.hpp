@@ -33,6 +33,11 @@ struct CgResult {
   std::size_t iterations = 0;
   std::size_t evaluations = 0;
   double final_value = 0.0;
+  /// Value-only probes spent inside the Armijo backtracking loop (a
+  /// subset of `evaluations`), and their cumulative wall time; feeds the
+  /// line-search entry of gp::EvalProfile.
+  std::size_t line_search_evals = 0;
+  double line_search_seconds = 0.0;
 };
 
 /// Polak-Ribiere+ nonlinear conjugate gradient with Armijo backtracking

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dp::gp {
+
+/// Cumulative call count and wall time of one objective term.
+struct TermProfile {
+  std::size_t calls = 0;
+  double seconds = 0.0;
+
+  void add(double s) {
+    ++calls;
+    seconds += s;
+  }
+  void merge(const TermProfile& other) {
+    calls += other.calls;
+    seconds += other.seconds;
+  }
+};
+
+/// Per-term evaluation profile of a global-placement run: how often each
+/// objective term was evaluated and how much wall time it consumed, so
+/// kernel speedups are measured instead of guessed. The wirelength and
+/// density entries cover every CompositeObjective evaluation (gradient
+/// steps and line-search probes alike); `line_search` separately counts
+/// the value-only probes inside the CG backtracking loop, whose time is
+/// already included in the per-term entries.
+struct EvalProfile {
+  TermProfile wirelength;
+  TermProfile density;
+  TermProfile line_search;
+  /// Extra objective terms by name, in registration order (e.g.
+  /// "alignment", "overlap" in the structure-aware flow).
+  std::vector<std::pair<std::string, TermProfile>> extras;
+
+  /// The entry for `name`, created on first use.
+  TermProfile& extra(const std::string& name);
+
+  void merge(const EvalProfile& other);
+
+  /// Compact one-line rendering for logs and the CLI, e.g.
+  ///   "wl 812x/0.41s | density 812x/0.77s | align 406x/0.08s | ls 590x/0.9s"
+  std::string to_string() const;
+};
+
+}  // namespace dp::gp

@@ -1,173 +1,247 @@
 #include "gp/wirelength.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace dp::gp {
 
 using netlist::NetId;
 using netlist::PinId;
 
-SmoothWirelength::SmoothWirelength(const netlist::Netlist& nl,
-                                   WirelengthModel model, double gamma)
-    : nl_(&nl), model_(model), gamma_(gamma) {}
-
 namespace {
 
-/// Per-net, per-axis scratch vectors reused across nets to avoid churn.
-struct Scratch {
-  std::vector<double> coord;
-  std::vector<double> wmax;  ///< e^{(x - max)/gamma}
-  std::vector<double> wmin;  ///< e^{(min - x)/gamma}
-};
+/// Net chunks are balanced by pin count; boundaries depend only on the
+/// netlist (never on the thread count), so partial sums reduce in the
+/// same order no matter how many workers run.
+constexpr std::size_t kMinPinsPerChunk = 2048;
+constexpr std::size_t kMaxChunks = 64;
 
-/// Log-sum-exp value and per-pin gradient for one axis of one net.
-/// grad[i] receives d/dx_i; returns the smoothed extent (>= true extent).
-double lse_axis(const Scratch& s, double gamma, std::span<double> grad) {
-  const std::size_t n = s.coord.size();
+/// Log-sum-exp extent and (optional) per-pin gradient for one axis of one
+/// net. `grad`, when non-null, receives weight * d/dc_i.
+double lse_axis(const double* coord, std::size_t n, double max_c,
+                double min_c, const double* wmax, const double* wmin,
+                double gamma, double weight, double* grad) {
   double smax = 0.0, smin = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    smax += s.wmax[i];
-    smin += s.wmin[i];
+    smax += wmax[i];
+    smin += wmin[i];
   }
-  double max_c = s.coord[0], min_c = s.coord[0];
-  for (double c : s.coord) {
-    max_c = std::max(max_c, c);
-    min_c = std::min(min_c, c);
+  if (grad != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      grad[i] = weight * (wmax[i] / smax - wmin[i] / smin);
+    }
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    grad[i] = s.wmax[i] / smax - s.wmin[i] / smin;
-  }
+  (void)coord;
   return (max_c + gamma * std::log(smax)) - (min_c - gamma * std::log(smin));
 }
 
-/// Weighted-average value and per-pin gradient for one axis of one net.
-double wa_axis(const Scratch& s, double gamma, std::span<double> grad) {
-  const std::size_t n = s.coord.size();
+/// Weighted-average extent and (optional) per-pin gradient for one axis.
+double wa_axis(const double* coord, std::size_t n, double /*max_c*/,
+               double /*min_c*/, const double* wmax, const double* wmin,
+               double gamma, double weight, double* grad) {
   double smax = 0.0, amax = 0.0, smin = 0.0, amin = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    smax += s.wmax[i];
-    amax += s.coord[i] * s.wmax[i];
-    smin += s.wmin[i];
-    amin += s.coord[i] * s.wmin[i];
+    smax += wmax[i];
+    amax += coord[i] * wmax[i];
+    smin += wmin[i];
+    amin += coord[i] * wmin[i];
   }
   const double hi = amax / smax;
   const double lo = amin / smin;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double ghi = s.wmax[i] / smax * (1.0 + (s.coord[i] - hi) / gamma);
-    const double glo = s.wmin[i] / smin * (1.0 - (s.coord[i] - lo) / gamma);
-    grad[i] = ghi - glo;
+  if (grad != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ghi = wmax[i] / smax * (1.0 + (coord[i] - hi) / gamma);
+      const double glo = wmin[i] / smin * (1.0 - (coord[i] - lo) / gamma);
+      grad[i] = weight * (ghi - glo);
+    }
   }
   return hi - lo;
 }
 
 }  // namespace
 
-double SmoothWirelength::eval(const netlist::Placement& pl,
-                              const VarMap& vars, std::span<double> gx,
-                              std::span<double> gy) const {
-  const auto& nl = *nl_;
-  const std::size_t nv = vars.num_vars();
-  double total = 0.0;
-  Scratch sx, sy;
-  std::vector<double> gpin_x, gpin_y;
-
+SmoothWirelength::SmoothWirelength(const netlist::Netlist& nl,
+                                   WirelengthModel model, double gamma)
+    : nl_(&nl), model_(model), gamma_(gamma) {
+  // Flatten nets with >= 2 pins into contiguous arrays.
+  std::size_t kept_pins = 0, kept_nets = 0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const std::size_t deg = nl.net(n).pins.size();
+    if (deg < 2) continue;
+    ++kept_nets;
+    kept_pins += deg;
+    max_degree_ = std::max(max_degree_, deg);
+  }
+  net_first_.reserve(kept_nets + 1);
+  net_weight_.reserve(kept_nets);
+  pin_cell_.reserve(kept_pins);
+  pin_dx_.reserve(kept_pins);
+  pin_dy_.reserve(kept_pins);
+  net_first_.push_back(0);
   for (NetId n = 0; n < nl.num_nets(); ++n) {
     const auto& pins = nl.net(n).pins;
     if (pins.size() < 2) continue;
-    const double weight = nl.net(n).weight;
-    const std::size_t deg = pins.size();
-
-    sx.coord.resize(deg);
-    sy.coord.resize(deg);
-    sx.wmax.resize(deg);
-    sx.wmin.resize(deg);
-    sy.wmax.resize(deg);
-    sy.wmin.resize(deg);
-    gpin_x.assign(deg, 0.0);
-    gpin_y.assign(deg, 0.0);
-
-    double max_x = -1e300, min_x = 1e300, max_y = -1e300, min_y = 1e300;
-    for (std::size_t i = 0; i < deg; ++i) {
-      const geom::Point p = nl.pin_position(pins[i], pl);
-      sx.coord[i] = p.x;
-      sy.coord[i] = p.y;
-      max_x = std::max(max_x, p.x);
-      min_x = std::min(min_x, p.x);
-      max_y = std::max(max_y, p.y);
-      min_y = std::min(min_y, p.y);
+    net_weight_.push_back(nl.net(n).weight);
+    for (const PinId p : pins) {
+      const auto& pin = nl.pin(p);
+      pin_cell_.push_back(pin.cell);
+      pin_dx_.push_back(pin.offset_x);
+      pin_dy_.push_back(pin.offset_y);
     }
-    for (std::size_t i = 0; i < deg; ++i) {
-      sx.wmax[i] = std::exp((sx.coord[i] - max_x) / gamma_);
-      sx.wmin[i] = std::exp((min_x - sx.coord[i]) / gamma_);
-      sy.wmax[i] = std::exp((sy.coord[i] - max_y) / gamma_);
-      sy.wmin[i] = std::exp((min_y - sy.coord[i]) / gamma_);
-    }
+    net_first_.push_back(static_cast<std::uint32_t>(pin_cell_.size()));
+  }
 
-    double value;
-    if (model_ == WirelengthModel::kLse) {
-      value = lse_axis(sx, gamma_, gpin_x) + lse_axis(sy, gamma_, gpin_y);
-    } else {
-      value = wa_axis(sx, gamma_, gpin_x) + wa_axis(sy, gamma_, gpin_y);
+  // Fixed pin-balanced chunk boundaries.
+  const std::size_t chunks = std::clamp<std::size_t>(
+      kept_pins / kMinPinsPerChunk, 1, kMaxChunks);
+  const std::size_t per_chunk = (kept_pins + chunks - 1) / chunks;
+  chunk_first_.push_back(0);
+  std::size_t acc = 0;
+  for (std::size_t kn = 0; kn < kept_nets; ++kn) {
+    acc += net_first_[kn + 1] - net_first_[kn];
+    if (acc >= per_chunk && kn + 1 < kept_nets) {
+      chunk_first_.push_back(static_cast<std::uint32_t>(kn + 1));
+      acc = 0;
     }
-    total += weight * value;
+  }
+  chunk_first_.push_back(static_cast<std::uint32_t>(kept_nets));
+}
 
-    for (std::size_t i = 0; i < deg; ++i) {
-      const auto v = vars.var(nl.pin(pins[i]).cell);
-      if (v == netlist::kInvalidId) continue;
-      gx[v] += weight * gpin_x[i];
-      gy[v] += weight * gpin_y[i];
+double SmoothWirelength::kernel(const netlist::Placement& pl,
+                                bool with_grad) const {
+  const std::size_t nchunks = chunk_first_.size() - 1;
+  chunk_value_.assign(nchunks, 0.0);
+  if (with_grad) {
+    // Every slot is overwritten (not accumulated), so no zero-fill.
+    gpin_x_.resize(pin_cell_.size());
+    gpin_y_.resize(pin_cell_.size());
+  }
+  chunk_scratch_.resize(nchunks);
+  const double gamma = gamma_;
+  const auto model = model_;
+
+  auto work = [&](std::size_t k) {
+    std::vector<double>& s = chunk_scratch_[k];
+    s.resize(3 * max_degree_);
+    double* coord = s.data();
+    double* wmax = coord + max_degree_;
+    double* wmin = wmax + max_degree_;
+    double total = 0.0;
+    for (std::uint32_t kn = chunk_first_[k]; kn < chunk_first_[k + 1];
+         ++kn) {
+      const std::uint32_t base = net_first_[kn];
+      const std::size_t deg = net_first_[kn + 1] - base;
+      const double weight = net_weight_[kn];
+      double net_value = 0.0;
+      // Per axis: gather coords, max-shift the exponents, evaluate.
+      for (int axis = 0; axis < 2; ++axis) {
+        double max_c = -1e300, min_c = 1e300;
+        if (axis == 0) {
+          for (std::size_t i = 0; i < deg; ++i) {
+            const std::uint32_t c = pin_cell_[base + i];
+            coord[i] = pl[c].x + pin_dx_[base + i];
+            max_c = std::max(max_c, coord[i]);
+            min_c = std::min(min_c, coord[i]);
+          }
+        } else {
+          for (std::size_t i = 0; i < deg; ++i) {
+            const std::uint32_t c = pin_cell_[base + i];
+            coord[i] = pl[c].y + pin_dy_[base + i];
+            max_c = std::max(max_c, coord[i]);
+            min_c = std::min(min_c, coord[i]);
+          }
+        }
+        for (std::size_t i = 0; i < deg; ++i) {
+          wmax[i] = std::exp((coord[i] - max_c) / gamma);
+          wmin[i] = std::exp((min_c - coord[i]) / gamma);
+        }
+        double* grad = nullptr;
+        if (with_grad) {
+          grad = (axis == 0 ? gpin_x_.data() : gpin_y_.data()) + base;
+        }
+        net_value += model == WirelengthModel::kLse
+                         ? lse_axis(coord, deg, max_c, min_c, wmax, wmin,
+                                    gamma, weight, grad)
+                         : wa_axis(coord, deg, max_c, min_c, wmax, wmin,
+                                   gamma, weight, grad);
+      }
+      total += weight * net_value;
     }
-    (void)nv;
+    chunk_value_[k] = total;
+  };
+
+  if (pool_ != nullptr) {
+    pool_->run(nchunks, work);
+  } else {
+    for (std::size_t k = 0; k < nchunks; ++k) work(k);
+  }
+
+  // Ordered reduction: fixed chunk boundaries + fixed order make the
+  // total independent of the thread count.
+  double total = 0.0;
+  for (const double v : chunk_value_) total += v;
+  return total;
+}
+
+void SmoothWirelength::bind_vars(const VarMap& vars) const {
+  if (bound_vars_ == &vars && bound_num_vars_ == vars.num_vars()) return;
+  const std::size_t nv = vars.num_vars();
+  var_first_.assign(nv + 1, 0);
+  for (const std::uint32_t c : pin_cell_) {
+    const std::uint32_t v = vars.var(c);
+    if (v != netlist::kInvalidId) ++var_first_[v + 1];
+  }
+  for (std::size_t v = 0; v < nv; ++v) var_first_[v + 1] += var_first_[v];
+  var_slot_.resize(var_first_[nv]);
+  std::vector<std::uint32_t> cursor(var_first_.begin(),
+                                    var_first_.end() - 1);
+  for (std::uint32_t s = 0; s < pin_cell_.size(); ++s) {
+    const std::uint32_t v = vars.var(pin_cell_[s]);
+    if (v != netlist::kInvalidId) var_slot_[cursor[v]++] = s;
+  }
+  bound_vars_ = &vars;
+  bound_num_vars_ = nv;
+}
+
+double SmoothWirelength::eval(const netlist::Placement& pl,
+                              const VarMap& vars, std::span<double> gx,
+                              std::span<double> gy) const {
+  bind_vars(vars);
+  const double total = kernel(pl, true);
+
+  // Gather per-pin gradients into the variables. Each variable's slots
+  // are summed in fixed CSR order, so the gather is both race-free and
+  // deterministic for any thread count.
+  const std::size_t nv = vars.num_vars();
+  auto gather = [&](std::size_t v0, std::size_t v1) {
+    for (std::size_t v = v0; v < v1; ++v) {
+      double sx = 0.0, sy = 0.0;
+      for (std::uint32_t s = var_first_[v]; s < var_first_[v + 1]; ++s) {
+        sx += gpin_x_[var_slot_[s]];
+        sy += gpin_y_[var_slot_[s]];
+      }
+      gx[v] += sx;
+      gy[v] += sy;
+    }
+  };
+  if (pool_ != nullptr && pool_->size() > 1 && nv >= 4096) {
+    const std::size_t chunks =
+        std::clamp<std::size_t>(nv / 2048, 1, kMaxChunks);
+    const std::size_t per = (nv + chunks - 1) / chunks;
+    pool_->run(chunks, [&](std::size_t k) {
+      gather(k * per, std::min(nv, (k + 1) * per));
+    });
+  } else {
+    gather(0, nv);
   }
   return total;
 }
 
 double SmoothWirelength::value(const netlist::Placement& pl) const {
-  // Evaluate with throwaway gradients against an empty VarMap-free path:
-  // reuse eval() with zero-capacity spans is unsafe, so compute directly.
-  const auto& nl = *nl_;
-  double total = 0.0;
-  Scratch sx, sy;
-  std::vector<double> scratch_grad;
-  for (NetId n = 0; n < nl.num_nets(); ++n) {
-    const auto& pins = nl.net(n).pins;
-    if (pins.size() < 2) continue;
-    const std::size_t deg = pins.size();
-    sx.coord.resize(deg);
-    sy.coord.resize(deg);
-    sx.wmax.resize(deg);
-    sx.wmin.resize(deg);
-    sy.wmax.resize(deg);
-    sy.wmin.resize(deg);
-    scratch_grad.assign(deg, 0.0);
-    double max_x = -1e300, min_x = 1e300, max_y = -1e300, min_y = 1e300;
-    for (std::size_t i = 0; i < deg; ++i) {
-      const geom::Point p = nl.pin_position(pins[i], pl);
-      sx.coord[i] = p.x;
-      sy.coord[i] = p.y;
-      max_x = std::max(max_x, p.x);
-      min_x = std::min(min_x, p.x);
-      max_y = std::max(max_y, p.y);
-      min_y = std::min(min_y, p.y);
-    }
-    for (std::size_t i = 0; i < deg; ++i) {
-      sx.wmax[i] = std::exp((sx.coord[i] - max_x) / gamma_);
-      sx.wmin[i] = std::exp((min_x - sx.coord[i]) / gamma_);
-      sy.wmax[i] = std::exp((sy.coord[i] - max_y) / gamma_);
-      sy.wmin[i] = std::exp((min_y - sy.coord[i]) / gamma_);
-    }
-    double value;
-    if (model_ == WirelengthModel::kLse) {
-      value = lse_axis(sx, gamma_, scratch_grad) +
-              lse_axis(sy, gamma_, scratch_grad);
-    } else {
-      value = wa_axis(sx, gamma_, scratch_grad) +
-              wa_axis(sy, gamma_, scratch_grad);
-    }
-    total += nl.net(n).weight * value;
-  }
-  return total;
+  return kernel(pl, false);
 }
 
 }  // namespace dp::gp

@@ -1,8 +1,15 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "gp/vars.hpp"
+
+namespace dp::util {
+class ThreadPool;
+}
 
 namespace dp::gp {
 
@@ -18,6 +25,13 @@ enum class WirelengthModel {
 ///
 /// Both models are stabilized against overflow by max-shifting the
 /// exponents, so they stay finite for any coordinates.
+///
+/// The hot loop runs over a flattened CSR net->pin layout built once in
+/// the constructor (contiguous cell ids and pin offsets, nets with < 2
+/// pins dropped), split into fixed pin-balanced chunks. With a thread
+/// pool attached the chunks evaluate concurrently; per-pin gradients land
+/// in per-pin slots and are gathered per variable in fixed slot order, so
+/// the result is bitwise identical for every thread count.
 class SmoothWirelength final : public ObjectiveTerm {
  public:
   SmoothWirelength(const netlist::Netlist& nl, WirelengthModel model,
@@ -27,16 +41,50 @@ class SmoothWirelength final : public ObjectiveTerm {
   double gamma() const { return gamma_; }
   WirelengthModel model() const { return model_; }
 
+  /// Attach a worker pool for chunk-parallel evaluation; null (the
+  /// default) evaluates the chunks serially, producing identical results.
+  void set_thread_pool(std::shared_ptr<util::ThreadPool> pool) {
+    pool_ = std::move(pool);
+  }
+
   double eval(const netlist::Placement& pl, const VarMap& vars,
               std::span<double> gx, std::span<double> gy) const override;
 
   /// Value only (no gradient); used by tests and the driver's telemetry.
+  /// Shares the chunked CSR kernel with eval() in null-gradient mode.
   double value(const netlist::Placement& pl) const;
 
  private:
+  /// Evaluates all chunks; fills gpin_x_/gpin_y_ when `with_grad`.
+  double kernel(const netlist::Placement& pl, bool with_grad) const;
+  /// (Re)build the var -> pin-slot gather transpose for `vars`.
+  void bind_vars(const VarMap& vars) const;
+
   const netlist::Netlist* nl_;
   WirelengthModel model_;
   double gamma_;
+  std::shared_ptr<util::ThreadPool> pool_;
+
+  // Flattened CSR topology over nets with >= 2 pins (built once).
+  std::vector<std::uint32_t> net_first_;  ///< kept-net -> first pin slot
+  std::vector<double> net_weight_;
+  std::vector<std::uint32_t> pin_cell_;
+  std::vector<double> pin_dx_, pin_dy_;   ///< pin offsets from cell center
+  std::vector<std::uint32_t> chunk_first_;  ///< fixed chunk bounds (nets)
+  std::size_t max_degree_ = 0;
+
+  // Gather transpose: variable -> pin slots, rebuilt when a different
+  // VarMap is bound (keyed by address + num_vars; each GlobalPlacer owns
+  // one VarMap for its lifetime).
+  mutable const VarMap* bound_vars_ = nullptr;
+  mutable std::size_t bound_num_vars_ = 0;
+  mutable std::vector<std::uint32_t> var_first_, var_slot_;
+
+  // Persistent evaluation scratch (one evaluation in flight at a time;
+  // chunk tasks touch disjoint slots).
+  mutable std::vector<double> gpin_x_, gpin_y_;  ///< weighted per-pin grads
+  mutable std::vector<double> chunk_value_;      ///< per-chunk partial sums
+  mutable std::vector<std::vector<double>> chunk_scratch_;
 };
 
 }  // namespace dp::gp

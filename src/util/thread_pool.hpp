@@ -1,0 +1,59 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dp::util {
+
+/// Fixed-size worker pool for fork-join parallelism over index ranges.
+///
+/// run(n, f) executes f(0), ..., f(n-1) across the pool's workers plus the
+/// calling thread and returns once every task has finished. Tasks are
+/// claimed from a shared atomic counter, so WHICH thread runs a given task
+/// is nondeterministic; callers that need reproducible floating-point
+/// results must give every task its own output slot and reduce the slots
+/// in fixed order afterwards (see SmoothWirelength / DensityPenalty).
+///
+/// A pool of size 1 spawns no threads and runs everything inline, so the
+/// serial path is byte-for-byte the parallel path with one worker.
+class ThreadPool {
+ public:
+  /// `num_threads` is the total worker count including the calling
+  /// thread; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count including the calling thread (>= 1).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run task(i) for every i in [0, num_tasks); blocks until all have
+  /// completed. Tasks must not throw and must not call run() on the same
+  /// pool reentrantly. Only one run() may be in flight at a time.
+  void run(std::size_t num_tasks,
+           const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t num_tasks_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_ = 0;  ///< workers still inside the current batch
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dp::util

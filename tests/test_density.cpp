@@ -95,6 +95,62 @@ TEST(Density, GradientMatchesFiniteDifference) {
   }
 }
 
+/// Finite-difference validation of the one-sided mode (`one_sided_cap_ >=
+/// 0`): only over-full bins contribute, so value and gradient share the
+/// same clamped error and must stay consistent. (The two-sided path is
+/// covered by GradientMatchesFiniteDifference above.)
+TEST(Density, OneSidedGradientMatchesFiniteDifference) {
+  SmallDesign d;
+  const auto& nl = d.bench->netlist;
+  VarMap vars(nl);
+  DensityPenalty den(nl, d.bench->design, 16);
+  den.set_one_sided(0.5);  // low cap so a loose cluster still overfills
+  Placement pl = d.bench->placement;
+  util::Rng rng(13);
+  const geom::Rect& core = d.bench->design.core();
+  // Cluster cells in a central window (away from the core edges, where
+  // footprint clipping makes the constant-normalization approximation
+  // poor): guarantees bins above the cap, so the one-sided gradient is
+  // non-trivially exercised.
+  const auto ctr = core.center();
+  for (const CellId c : vars.movable_cells()) {
+    pl[c] = {rng.uniform(ctr.x - core.width() / 5, ctr.x + core.width() / 5),
+             rng.uniform(ctr.y - core.height() / 5,
+                         ctr.y + core.height() / 5)};
+  }
+  const std::size_t n = vars.num_vars();
+  std::vector<double> gx(n, 0.0), gy(n, 0.0);
+  den.eval(pl, vars, gx, gy);
+  EXPECT_GT(std::abs(gx[0]) + std::abs(gy[0]) +
+                std::abs(gx[n / 2]) + std::abs(gy[n / 2]),
+            0.0);
+
+  std::vector<double> dump_x(n), dump_y(n);
+  const double h = 1e-5;
+  for (std::size_t v = 0; v < std::min<std::size_t>(n, 8); ++v) {
+    const CellId c = vars.cell(v);
+    for (int axis = 0; axis < 2; ++axis) {
+      double& coord = axis == 0 ? pl[c].x : pl[c].y;
+      const double c0 = coord;
+      coord = c0 + h;
+      dump_x.assign(n, 0.0);
+      dump_y.assign(n, 0.0);
+      const double fp = den.eval(pl, vars, dump_x, dump_y);
+      coord = c0 - h;
+      dump_x.assign(n, 0.0);
+      dump_y.assign(n, 0.0);
+      const double fm = den.eval(pl, vars, dump_x, dump_y);
+      coord = c0;
+      const double fd = (fp - fm) / (2 * h);
+      const double analytic = axis == 0 ? gx[v] : gy[v];
+      // Same slack as the two-sided test: the normalization is treated
+      // as constant, and the one-sided clamp adds a kink at the cap.
+      EXPECT_NEAR(analytic, fd, std::max(0.05 * std::abs(fd), 0.05))
+          << "cell " << nl.cell(c).name << " axis " << axis;
+    }
+  }
+}
+
 TEST(Density, OverflowZeroForUniformSpread) {
   SmallDesign d;
   const auto& nl = d.bench->netlist;

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace dp::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(kTasks, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(8);
+  pool.run(8, [&](std::size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const auto id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.run(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, MoreTasksThanThreads) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.run(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  int total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 10000);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::vector<double> slot(16, 0.0);
+  for (int round = 1; round <= 50; ++round) {
+    pool.run(slot.size(),
+             [&](std::size_t i) { slot[i] = static_cast<double>(round); });
+    const double sum = std::accumulate(slot.begin(), slot.end(), 0.0);
+    ASSERT_DOUBLE_EQ(sum, 16.0 * round);
+  }
+}
+
+TEST(ThreadPool, PerSlotWritesReduceDeterministically) {
+  // The usage contract of the gradient kernels: each task owns a slot,
+  // the caller reduces slots in fixed order. The reduced value must not
+  // depend on the worker count.
+  auto reduce_with = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> part(37, 0.0);
+    pool.run(part.size(), [&](std::size_t i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j <= i; ++j) {
+        acc += 1.0 / static_cast<double>(1 + ((i * 31 + j) % 97));
+      }
+      part[i] = acc;
+    });
+    double total = 0.0;
+    for (const double p : part) total += p;
+    return total;
+  };
+  const double serial = reduce_with(1);
+  EXPECT_EQ(serial, reduce_with(2));
+  EXPECT_EQ(serial, reduce_with(4));
+  EXPECT_EQ(serial, reduce_with(7));
+}
+
+TEST(ThreadPool, HardwareConcurrencyDefault) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dp::util
