@@ -12,6 +12,12 @@
 //   --threads N           gradient-kernel worker threads (default 0 =
 //                         hardware concurrency; results are identical for
 //                         every N)
+//   --swap-window N       detailed-placement swap window (default 1 =
+//                         adjacent-only; larger windows consider distant
+//                         same-row swaps, affordable because candidates are
+//                         scored by incremental delta evaluation)
+//   --paranoid            cross-check every accepted detail move against a
+//                         full HPWL recompute (slow; debugging aid)
 //   --out PREFIX          write PREFIX.{aux,nodes,nets,pl,scl}
 //   --svg FILE            write an SVG rendering
 //   --groups FILE         write the extracted structure annotation
@@ -36,8 +42,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--bench NAME | --aux FILE) [--baseline] "
-               "[--blocks] [--weight W] [--threads N] [--out PREFIX] "
-               "[--svg FILE] [--groups FILE]\n",
+               "[--blocks] [--weight W] [--threads N] [--swap-window N] "
+               "[--paranoid] [--out PREFIX] [--svg FILE] [--groups FILE]\n",
                argv0);
   return 2;
 }
@@ -70,6 +76,12 @@ int main(int argc, char** argv) {
       if (const char* v = next()) {
         config.num_threads = static_cast<std::size_t>(std::atol(v));
       }
+    } else if (arg == "--swap-window") {
+      if (const char* v = next()) {
+        config.detail.swap_window = static_cast<std::size_t>(std::atol(v));
+      }
+    } else if (arg == "--paranoid") {
+      config.detail.paranoid = true;
     } else if (arg == "--out") {
       if (const char* v = next()) out_prefix = v;
     } else if (arg == "--svg") {
@@ -114,6 +126,8 @@ int main(int argc, char** argv) {
       report.legality.legal() ? "yes" : "NO");
   std::printf("gp eval profile: %s\n",
               report.gp_result.profile.to_string().c_str());
+  std::printf("detail profile: %s\n",
+              report.detail_stats.profile.to_string().c_str());
 
   if (!out_prefix.empty()) {
     netlist::write_bookshelf(out_prefix, nl, design, pl);

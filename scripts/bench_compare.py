@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and flag regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.5]
+                     [--filter REGEX]
+
+Benchmarks are matched by name. When a file was produced with
+--benchmark_repetitions and aggregate reporting, the median aggregate is
+used; otherwise the raw iteration entry. A benchmark regresses when its
+current cpu_time exceeds baseline * (1 + threshold); the default 50%
+threshold is deliberately loose because shared CI runners are noisy --
+the step exists to catch order-of-magnitude cliffs, not 10% drift.
+
+Exit status: 0 when no benchmark regresses, 1 otherwise (missing
+counterparts are reported but do not fail the comparison).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """Map benchmark name -> cpu_time in ns (median aggregate preferred)."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for b in data.get("benchmarks", []):
+        scale = _UNIT_TO_NS.get(b.get("time_unit", "ns"), 1.0)
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") != "median":
+                continue
+            name = b.get("run_name", b["name"])
+        else:
+            name = b["name"]
+            if name in times:  # keep the first entry per repeated name
+                continue
+        times[name] = b["cpu_time"] * scale
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.5,
+                    help="allowed slowdown fraction (default 0.5 = +50%%)")
+    ap.add_argument("--filter", default=None,
+                    help="only compare benchmark names matching this regex")
+    args = ap.parse_args()
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+    pattern = re.compile(args.filter) if args.filter else None
+
+    names = sorted(set(base) | set(cur))
+    if pattern:
+        names = [n for n in names if pattern.search(n)]
+
+    regressions = []
+    width = max((len(n) for n in names), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in names:
+        if name not in base or name not in cur:
+            where = "baseline" if name not in base else "current"
+            print(f"{name:<{width}}  (missing from {where})")
+            continue
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {base[name]:>10.0f}ns  {cur[name]:>10.0f}ns"
+              f"  {ratio:5.2f}x{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"+{args.threshold * 100:.0f}%:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <limits>
 
+#include "eval/incremental_hpwl.hpp"
 #include "eval/metrics.hpp"
+#include "util/logger.hpp"
+#include "util/timer.hpp"
 
 namespace dp::detail {
 
@@ -35,30 +38,64 @@ struct Unit {
 };
 
 /// Engine shared by the plain and structured entry points.
+///
+/// All candidate moves are scored through eval::IncrementalHpwl: a trial
+/// costs O(pins of the moved cells) instead of a full rescan of every
+/// incident net, and the per-pass convergence total is the engine's
+/// maintained sum (resynced in O(nets) at each pass boundary) instead of
+/// a full O(pins) eval::hpwl recompute. Accept thresholds, candidate
+/// ordering, and committed coordinates reproduce the historical
+/// full-rescan implementation bit for bit at the default options.
 class Engine {
  public:
   Engine(const netlist::Netlist& nl, const netlist::Design& design,
-         netlist::Placement& pl, const std::vector<Unit>& units)
-      : nl_(&nl), design_(&design), pl_(&pl), units_(&units) {
+         netlist::Placement& pl, const std::vector<Unit>& units,
+         const DetailOptions& options)
+      : nl_(&nl),
+        design_(&design),
+        pl_(&pl),
+        units_(&units),
+        options_(&options),
+        inc_(nl, pl),
+        moving_epoch_(nl.num_cells(), 0) {
     build_rows();
   }
 
-  DetailStats optimize(const DetailOptions& options) {
+  DetailStats optimize() {
     DetailStats stats;
-    stats.hpwl_before = eval::hpwl(*nl_, *pl_);
+    stats.hpwl_before = inc_.resync_total();
+    ++profile_.resyncs;
     double current = stats.hpwl_before;
-    for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    for (std::size_t pass = 0; pass < options_->max_passes; ++pass) {
       ++stats.passes;
-      stats.slides += slide_pass();
-      stats.swaps += swap_pass();
-      stats.slice_slides += unit_slide_pass();
-      const double next = eval::hpwl(*nl_, *pl_);
+      {
+        util::Timer t;
+        ++profile_.slide.passes;
+        stats.slides += slide_pass();
+        profile_.slide.seconds += t.seconds();
+      }
+      {
+        util::Timer t;
+        ++profile_.swap.passes;
+        stats.swaps += swap_pass();
+        profile_.swap.seconds += t.seconds();
+      }
+      {
+        util::Timer t;
+        ++profile_.unit_slide.passes;
+        stats.slice_slides += unit_slide_pass();
+        profile_.unit_slide.seconds += t.seconds();
+      }
+      const double next = inc_.resync_total();
+      ++profile_.resyncs;
       const bool converged =
-          current - next <= options.rel_improvement_floor * current;
+          current - next <= options_->rel_improvement_floor * current;
       current = next;
       if (converged) break;
     }
     stats.hpwl_after = current;
+    profile_.rescans = inc_.rescans();
+    stats.profile = profile_;
     return stats;
   }
 
@@ -101,30 +138,20 @@ class Engine {
     }
   }
 
-  /// Exact HPWL over the union of nets incident to `cells`.
-  double nets_hpwl(const std::vector<CellId>& cells) {
-    scratch_nets_.clear();
-    for (CellId c : cells) {
-      for (PinId p : nl_->cell(c).pins) {
-        scratch_nets_.push_back(nl_->pin(p).net);
-      }
-    }
-    std::sort(scratch_nets_.begin(), scratch_nets_.end());
-    scratch_nets_.erase(
-        std::unique(scratch_nets_.begin(), scratch_nets_.end()),
-        scratch_nets_.end());
-    double total = 0.0;
-    for (NetId n : scratch_nets_) {
-      total += nl_->net(n).weight * eval::net_hpwl(*nl_, n, *pl_);
-    }
-    return total;
-  }
-
   /// Breakpoint-median optimal x for a rigid set of cells, where cell k
   /// sits at (X + rel[k]) for block coordinate X. Returns the midpoint of
   /// the optimal interval, or NaN if the set has no external nets.
   double optimal_position(const std::vector<CellId>& cells,
                           const std::vector<double>& rel) {
+    // Epoch-stamp the moving set so the membership test inside the pin
+    // loop is O(1) instead of a scan of the whole set per pin.
+    ++moving_stamp_;
+    if (moving_stamp_ == 0) {
+      std::fill(moving_epoch_.begin(), moving_epoch_.end(), 0u);
+      moving_stamp_ = 1;
+    }
+    for (CellId c : cells) moving_epoch_[c] = moving_stamp_;
+
     breakpoints_.clear();
     for (std::size_t k = 0; k < cells.size(); ++k) {
       for (PinId p : nl_->cell(cells[k]).pins) {
@@ -134,16 +161,8 @@ class Engine {
         double lo = std::numeric_limits<double>::infinity(), hi = -lo;
         bool external = false;
         for (PinId q : net_pins) {
-          const CellId oc = nl_->pin(q).cell;
           // Skip pins belonging to the moving set.
-          bool moving = false;
-          for (CellId mc : cells) {
-            if (oc == mc) {
-              moving = true;
-              break;
-            }
-          }
-          if (moving) continue;
+          if (moving_epoch_[nl_->pin(q).cell] == moving_stamp_) continue;
           const double x = nl_->pin_position(q, *pl_).x;
           lo = std::min(lo, x);
           hi = std::max(hi, x);
@@ -166,8 +185,8 @@ class Engine {
   /// Try to move the entry at rows_[r][i] so its left edge becomes new_lx;
   /// keeps order and legality, commits only on HPWL improvement.
   bool try_shift(std::size_t r, std::size_t i, double new_lx,
-                 std::vector<CellId>& moved_cells,
-                 std::vector<double>& rel) {
+                 const std::vector<CellId>& moved_cells,
+                 PassProfile& prof) {
     auto& row = rows_[r];
     Entry& e = row[i];
     const double lo_bound = i > 0 ? row[i - 1].hx() : design_->row(r).lx;
@@ -186,17 +205,16 @@ class Engine {
     const double dx = new_lx - e.lx;
     if (std::abs(dx) < 1e-12) return false;
 
-    const double before = nets_hpwl(moved_cells);
-    for (std::size_t k = 0; k < moved_cells.size(); ++k) {
-      (*pl_)[moved_cells[k]].x += dx;
-      (void)rel;
-    }
-    const double after = nets_hpwl(moved_cells);
-    if (after + 1e-12 < before) {
+    ++prof.candidates;
+    const auto t = inc_.trial_shift(moved_cells, dx, 0.0);
+    if (t.after + 1e-12 < t.before) {
+      inc_.commit();
       e.lx = new_lx;
+      ++prof.accepted;
+      paranoid_check();
       return true;
     }
-    for (CellId c : moved_cells) (*pl_)[c].x -= dx;
+    inc_.rollback();
     return false;
   }
 
@@ -214,7 +232,7 @@ class Engine {
         // center at X + rel[0]; with rel[0] = w/2, X is the left edge.
         const double x_opt = optimal_position(one, rel);
         if (!std::isfinite(x_opt)) continue;
-        if (try_shift(r, i, x_opt, one, rel)) ++moves;
+        if (try_shift(r, i, x_opt, one, profile_.slide)) ++moves;
       }
     }
     return moves;
@@ -222,32 +240,75 @@ class Engine {
 
   std::size_t swap_pass() {
     std::size_t moves = 0;
+    const std::size_t window =
+        std::max<std::size_t>(std::size_t{1}, options_->swap_window);
     std::vector<CellId> pair(2);
+    std::vector<geom::Point> centers(2);
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       auto& row = rows_[r];
       for (std::size_t i = 0; i + 1 < row.size(); ++i) {
-        Entry& a = row[i];
-        Entry& b = row[i + 1];
-        if (a.unit != kNoUnit || b.unit != kNoUnit) continue;
-        // Swap order, preserving the pair's outer extent and inner gap.
-        const double gap = b.lx - a.hx();
-        const double new_b_lx = a.lx;
-        const double new_a_lx = a.lx + b.width + gap;
-        pair[0] = a.cell;
-        pair[1] = b.cell;
-        const double before = nets_hpwl(pair);
-        const double old_a_lx = a.lx, old_b_lx = b.lx;
-        (*pl_)[a.cell].x = new_a_lx + a.width / 2.0;
-        (*pl_)[b.cell].x = new_b_lx + b.width / 2.0;
-        const double after = nets_hpwl(pair);
-        if (after + 1e-12 < before) {
-          a.lx = new_a_lx;
-          b.lx = new_b_lx;
-          std::swap(row[i], row[i + 1]);
+        if (row[i].unit != kNoUnit) continue;
+        // Evaluate every candidate partner in the window and remember the
+        // best improving one. With window = 1 this is exactly the
+        // classical adjacent-swap pass.
+        std::size_t best_j = 0;
+        double best_gain = 0.0;
+        double best_a_lx = 0.0, best_b_lx = 0.0;
+        for (std::size_t j = i + 1; j < row.size() && j <= i + window;
+             ++j) {
+          const Entry& a = row[i];
+          const Entry& b = row[j];
+          if (b.unit != kNoUnit) continue;
+          double new_a_lx = 0.0, new_b_lx = 0.0;
+          if (j == i + 1) {
+            // Swap order, preserving the pair's outer extent and inner
+            // gap.
+            const double gap = b.lx - a.hx();
+            new_b_lx = a.lx;
+            new_a_lx = a.lx + b.width + gap;
+          } else {
+            // Distant swap: the entries exchange slots; both must fit the
+            // other's gap (left edges are already site-aligned).
+            new_b_lx = a.lx;
+            new_a_lx = b.lx;
+            const double a_slot_hi = row[i + 1].lx;
+            const double b_slot_hi =
+                j + 1 < row.size() ? row[j + 1].lx : design_->row(r).hx;
+            if (new_b_lx + b.width > a_slot_hi + 1e-9) continue;
+            if (new_a_lx + a.width > b_slot_hi + 1e-9) continue;
+          }
+          pair[0] = a.cell;
+          pair[1] = b.cell;
+          centers[0] = {new_a_lx + a.width / 2.0, (*pl_)[a.cell].y};
+          centers[1] = {new_b_lx + b.width / 2.0, (*pl_)[b.cell].y};
+          ++profile_.swap.candidates;
+          const auto t = inc_.trial_place(pair, centers);
+          inc_.rollback();
+          if (t.after + 1e-12 < t.before) {
+            const double gain = t.before - t.after;
+            if (best_j == 0 || gain > best_gain) {
+              best_j = j;
+              best_gain = gain;
+              best_a_lx = new_a_lx;
+              best_b_lx = new_b_lx;
+            }
+          }
+        }
+        if (best_j != 0) {
+          Entry& a = row[i];
+          Entry& b = row[best_j];
+          pair[0] = a.cell;
+          pair[1] = b.cell;
+          centers[0] = {best_a_lx + a.width / 2.0, (*pl_)[a.cell].y};
+          centers[1] = {best_b_lx + b.width / 2.0, (*pl_)[b.cell].y};
+          inc_.trial_place(pair, centers);
+          inc_.commit();
+          a.lx = best_a_lx;
+          b.lx = best_b_lx;
+          std::swap(row[i], row[best_j]);
           ++moves;
-        } else {
-          (*pl_)[a.cell].x = old_a_lx + a.width / 2.0;
-          (*pl_)[b.cell].x = old_b_lx + b.width / 2.0;
+          ++profile_.swap.accepted;
+          paranoid_check();
         }
       }
     }
@@ -269,19 +330,38 @@ class Engine {
         }
         const double x_opt = optimal_position(cells, rel);
         if (!std::isfinite(x_opt)) continue;
-        if (try_shift(r, i, x_opt, cells, rel)) ++moves;
+        if (try_shift(r, i, x_opt, cells, profile_.unit_slide)) ++moves;
       }
     }
     return moves;
+  }
+
+  /// Paranoid cross-check: the maintained total must agree with a full
+  /// recompute after every accepted move.
+  void paranoid_check() {
+    if (!options_->paranoid) return;
+    ++profile_.paranoid_checks;
+    const double full = eval::hpwl(*nl_, *pl_);
+    const double got = inc_.total();
+    if (std::abs(got - full) > 1e-9 * std::max(1.0, std::abs(full))) {
+      ++profile_.paranoid_failures;
+      util::Logger::warn(
+          "detail paranoid: incremental total %.17g != recompute %.17g",
+          got, full);
+    }
   }
 
   const netlist::Netlist* nl_;
   const netlist::Design* design_;
   netlist::Placement* pl_;
   const std::vector<Unit>* units_;
+  const DetailOptions* options_;
+  eval::IncrementalHpwl inc_;
+  Profile profile_;
   std::vector<std::vector<Entry>> rows_;
-  std::vector<NetId> scratch_nets_;
   std::vector<double> breakpoints_;
+  std::vector<std::uint32_t> moving_epoch_;
+  std::uint32_t moving_stamp_ = 0;
 };
 
 }  // namespace
@@ -293,8 +373,8 @@ DetailedPlacer::DetailedPlacer(const netlist::Netlist& nl,
 DetailStats DetailedPlacer::run(netlist::Placement& pl,
                                 const DetailOptions& options) {
   const std::vector<Unit> no_units;
-  Engine engine(*nl_, *design_, pl, no_units);
-  return engine.optimize(options);
+  Engine engine(*nl_, *design_, pl, no_units, options);
+  return engine.optimize();
 }
 
 DetailStats DetailedPlacer::run_structured(
@@ -347,8 +427,8 @@ DetailStats DetailedPlacer::run_structured(
       }
     }
   }
-  Engine engine(*nl_, *design_, pl, units);
-  return engine.optimize(options);
+  Engine engine(*nl_, *design_, pl, units, options);
+  return engine.optimize();
 }
 
 }  // namespace dp::detail

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "detail/profile.hpp"
 #include "netlist/design.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/structure.hpp"
@@ -13,6 +14,16 @@ struct DetailOptions {
   /// Stop a pass loop early when a full pass improves HPWL by less than
   /// this relative amount.
   double rel_improvement_floor = 1e-4;
+  /// Swap-pass window: each cell considers swapping with its `swap_window`
+  /// successors in the row. 1 (the default) is the classical adjacent-only
+  /// pass and reproduces the historical result bit for bit; larger windows
+  /// trade runtime for quality, a knob the incremental delta evaluation
+  /// makes affordable.
+  std::size_t swap_window = 1;
+  /// Cross-check every accepted move's maintained HPWL total against a
+  /// full eval::hpwl recompute (tests/debugging only: restores the
+  /// quadratic cost the incremental engine removes).
+  bool paranoid = false;
 };
 
 struct DetailStats {
@@ -22,6 +33,9 @@ struct DetailStats {
   std::size_t swaps = 0;
   std::size_t slice_slides = 0;
   std::size_t passes = 0;
+  /// Per-pass candidate/accept counts, wall times, and incremental-engine
+  /// bookkeeping (rescans, resyncs, paranoid checks).
+  Profile profile;
 };
 
 /// Row-based detailed placement: per-cell optimal-interval sliding within

@@ -1,0 +1,38 @@
+#include "detail/profile.hpp"
+
+#include <cstdio>
+
+namespace dp::detail {
+
+void Profile::merge(const Profile& other) {
+  slide.merge(other.slide);
+  swap.merge(other.swap);
+  unit_slide.merge(other.unit_slide);
+  rescans += other.rescans;
+  resyncs += other.resyncs;
+  paranoid_checks += other.paranoid_checks;
+  paranoid_failures += other.paranoid_failures;
+}
+
+std::string Profile::to_string() const {
+  char buf[160];
+  auto fmt = [&buf](const char* name, const PassProfile& p) {
+    std::snprintf(buf, sizeof buf, "%s %zux %zu/%zu cand %.3fs", name,
+                  p.passes, p.accepted, p.candidates, p.seconds);
+    return std::string(buf);
+  };
+  std::string out = fmt("slide", slide);
+  out += " | " + fmt("swap", swap);
+  out += " | " + fmt("unit", unit_slide);
+  std::snprintf(buf, sizeof buf, " | rescans %zu | resyncs %zu", rescans,
+                resyncs);
+  out += buf;
+  if (paranoid_checks > 0) {
+    std::snprintf(buf, sizeof buf, " | paranoid %zu/%zu ok",
+                  paranoid_checks - paranoid_failures, paranoid_checks);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dp::detail

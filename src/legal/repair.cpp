@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "eval/incremental_hpwl.hpp"
 #include "legal/abacus.hpp"
 #include "legal/rowmap.hpp"
 #include "legal/tetris.hpp"
@@ -63,6 +64,12 @@ std::size_t repair_legality(const netlist::Netlist& nl,
   }
   if (victims.empty()) return 0;
 
+  // Track the wirelength cost of the repair incrementally: only the
+  // victims move, so updating their incident nets is O(victim pins)
+  // instead of a second full eval::hpwl sweep.
+  eval::IncrementalHpwl hpwl_eng(nl, pl);
+  const double hpwl_before = hpwl_eng.total();
+
   // Free space = core minus every legally placed cell.
   RowMap free_map(design);
   for (std::size_t r = 0; r < rows.size(); ++r) {
@@ -99,8 +106,9 @@ std::size_t repair_legality(const netlist::Netlist& nl,
                          still_failed.size());
     }
   }
-  util::Logger::debug("repair_legality: re-placed %zu cells",
-                      victims.size());
+  hpwl_eng.refresh(victims);
+  util::Logger::debug("repair_legality: re-placed %zu cells (hpwl %.1f -> %.1f)",
+                      victims.size(), hpwl_before, hpwl_eng.total());
   return victims.size();
 }
 

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <optional>
 
+#include "eval/incremental_hpwl.hpp"
 #include "eval/metrics.hpp"
 #include "legal/abacus.hpp"
 #include "legal/tetris.hpp"
@@ -289,24 +290,27 @@ StructureLegalizeStats StructureLegalizer::run(netlist::Placement& pl,
     }
   };
 
-  // HPWL over all nets incident to the chunk (internal nets are invariant
-  // under whole-chunk translation, so including them is harmless).
-  auto chunk_hpwl = [&](const Chunk& chunk) {
-    std::vector<netlist::NetId> nets;
-    for (const RowUnit& unit : chunk.units) {
-      for (CellId c : unit.cells) {
-        for (netlist::PinId p : nl_->cell(c).pins) {
-          nets.push_back(nl_->pin(p).net);
-        }
+  // Target coordinates of a chunk's cells at its current (row0, x); used
+  // to stage whole-plate relocations through the incremental HPWL engine
+  // without mutating pl first. Mirrors apply_chunk exactly.
+  std::vector<CellId> chunk_cells;
+  std::vector<geom::Point> chunk_centers;
+  auto chunk_targets = [&](const PlacedChunk& pc) {
+    chunk_cells.clear();
+    chunk_centers.clear();
+    for (std::size_t u = 0; u < pc.chunk.units.size(); ++u) {
+      const RowUnit& unit = pc.chunk.units[u];
+      const std::size_t strip = u / pc.fold_rows;
+      const std::size_t pos = u % pc.fold_rows;
+      const std::size_t r =
+          pc.row0 + (pc.chunk.lanes_descending ? pc.fold_rows - 1 - pos : pos);
+      const double ux = pc.x + pc.chunk.width * static_cast<double>(strip);
+      const double uy = design.row(r).y + design.row_height() / 2.0;
+      for (std::size_t k = 0; k < unit.cells.size(); ++k) {
+        chunk_cells.push_back(unit.cells[k]);
+        chunk_centers.push_back({ux + unit.offsets[k], uy});
       }
     }
-    std::sort(nets.begin(), nets.end());
-    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
-    double total = 0.0;
-    for (netlist::NetId n : nets) {
-      total += nl_->net(n).weight * eval::net_hpwl(*nl_, n, pl);
-    }
-    return total;
   };
 
   // Centroid of the pins of chunk nets that are not on chunk cells: the
@@ -608,26 +612,34 @@ StructureLegalizeStats StructureLegalizer::run(netlist::Placement& pl,
   // around the centroid of its external connections; commit only on real
   // HPWL gain. This is what rescues plates the window search had to exile
   // far from their logic.
+  // Candidate relocations are scored as incremental trials over the nets
+  // incident to the chunk (internal nets are invariant under whole-chunk
+  // translation, so including them is harmless): O(chunk pins) per trial
+  // instead of re-walking every incident net's full pin list twice, and a
+  // rejected trial rolls back without touching pl at all.
+  eval::IncrementalHpwl plate_hpwl(*nl_, pl);
   for (int pass = 0; pass < 3; ++pass) {
     bool improved = false;
     for (PlacedChunk& pc : committed) {
-      const double before = chunk_hpwl(pc.chunk);
       const geom::Point want = external_centroid(
           pc.chunk, {pc.chunk.desired_cx, pc.chunk.desired_cy});
       const RowMap trial_rows = build_rows(&pc);
       const auto window = find_window(pc.chunk, trial_rows, want.x, want.y);
       if (!window) continue;
-      const PlacedChunk saved = pc;
+      const std::size_t saved_row0 = pc.row0;
+      const double saved_x = pc.x;
       pc.row0 = window->row0;
       pc.x = window->x;
-      apply_chunk(pc);
-      const double after = chunk_hpwl(pc.chunk);
-      if (after + 1e-9 < before) {
+      chunk_targets(pc);
+      const auto t = plate_hpwl.trial_place(chunk_cells, chunk_centers);
+      if (t.after + 1e-9 < t.before) {
+        plate_hpwl.commit();  // writes the staged centers into pl
         improved = true;
         ++stats.plate_moves;
       } else {
-        pc = saved;
-        apply_chunk(pc);
+        plate_hpwl.rollback();
+        pc.row0 = saved_row0;
+        pc.x = saved_x;
       }
     }
     if (!improved) break;

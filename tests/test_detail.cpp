@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "detail/detailed_placer.hpp"
 #include "dpgen/benchmarks.hpp"
 #include "eval/metrics.hpp"
@@ -90,6 +94,424 @@ TEST(Detail, MaxPassesZeroIsNoop) {
   for (CellId c = 0; c < lb.bench->netlist.num_cells(); ++c) {
     EXPECT_DOUBLE_EQ(lb.pl[c].x, before[c].x);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise equivalence against the original full-rescan implementation.
+//
+// The detailed placer was rewritten on top of eval::IncrementalHpwl; at the
+// default options its accept decisions and committed coordinates must be
+// indistinguishable from the historical engine, which is reproduced here
+// verbatim as the reference.
+// ---------------------------------------------------------------------------
+namespace seedref {
+
+constexpr int kNoUnit = -1;
+
+struct Entry {
+  double lx = 0.0;
+  double width = 0.0;
+  CellId cell = netlist::kInvalidId;
+  int unit = kNoUnit;
+
+  double hx() const { return lx + width; }
+};
+
+struct Unit {
+  std::vector<CellId> cells;
+  std::size_t row = 0;
+};
+
+class Engine {
+ public:
+  Engine(const netlist::Netlist& nl, const netlist::Design& design,
+         netlist::Placement& pl, const std::vector<Unit>& units)
+      : nl_(&nl), design_(&design), pl_(&pl), units_(&units) {
+    build_rows();
+  }
+
+  void optimize(const DetailOptions& options) {
+    double current = eval::hpwl(*nl_, *pl_);
+    for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+      slide_pass();
+      swap_pass();
+      unit_slide_pass();
+      const double next = eval::hpwl(*nl_, *pl_);
+      const bool converged =
+          current - next <= options.rel_improvement_floor * current;
+      current = next;
+      if (converged) break;
+    }
+  }
+
+ private:
+  void build_rows() {
+    rows_.assign(design_->num_rows(), {});
+    std::vector<bool> in_unit(nl_->num_cells(), false);
+    for (std::size_t u = 0; u < units_->size(); ++u) {
+      const Unit& unit = (*units_)[u];
+      if (unit.cells.empty()) continue;
+      double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+      for (CellId c : unit.cells) {
+        in_unit[c] = true;
+        lo = std::min(lo, (*pl_)[c].x - nl_->cell_width(c) / 2.0);
+        hi = std::max(hi, (*pl_)[c].x + nl_->cell_width(c) / 2.0);
+      }
+      const std::size_t r = design_->nearest_row((*pl_)[unit.cells[0]].y);
+      rows_[r].push_back({lo, hi - lo, netlist::kInvalidId,
+                          static_cast<int>(u)});
+    }
+    for (CellId c = 0; c < nl_->num_cells(); ++c) {
+      if (nl_->cell(c).fixed || in_unit[c]) continue;
+      const double w = nl_->cell_width(c);
+      const std::size_t r = design_->nearest_row((*pl_)[c].y);
+      rows_[r].push_back({(*pl_)[c].x - w / 2.0, w, c, kNoUnit});
+    }
+    for (auto& row : rows_) {
+      std::sort(row.begin(), row.end(),
+                [](const Entry& a, const Entry& b) { return a.lx < b.lx; });
+      std::vector<Entry> clean;
+      clean.reserve(row.size());
+      for (const Entry& e : row) {
+        if (!clean.empty() && clean.back().hx() > e.lx + 1e-9) continue;
+        clean.push_back(e);
+      }
+      row = std::move(clean);
+    }
+  }
+
+  double nets_hpwl(const std::vector<CellId>& cells) {
+    scratch_nets_.clear();
+    for (CellId c : cells) {
+      for (netlist::PinId p : nl_->cell(c).pins) {
+        scratch_nets_.push_back(nl_->pin(p).net);
+      }
+    }
+    std::sort(scratch_nets_.begin(), scratch_nets_.end());
+    scratch_nets_.erase(
+        std::unique(scratch_nets_.begin(), scratch_nets_.end()),
+        scratch_nets_.end());
+    double total = 0.0;
+    for (netlist::NetId n : scratch_nets_) {
+      total += nl_->net(n).weight * eval::net_hpwl(*nl_, n, *pl_);
+    }
+    return total;
+  }
+
+  double optimal_position(const std::vector<CellId>& cells,
+                          const std::vector<double>& rel) {
+    breakpoints_.clear();
+    for (std::size_t k = 0; k < cells.size(); ++k) {
+      for (netlist::PinId p : nl_->cell(cells[k]).pins) {
+        const auto& pin = nl_->pin(p);
+        const auto& net_pins = nl_->net(pin.net).pins;
+        if (net_pins.size() < 2) continue;
+        double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+        bool external = false;
+        for (netlist::PinId q : net_pins) {
+          const CellId oc = nl_->pin(q).cell;
+          bool moving = false;
+          for (CellId mc : cells) {
+            if (oc == mc) {
+              moving = true;
+              break;
+            }
+          }
+          if (moving) continue;
+          const double x = nl_->pin_position(q, *pl_).x;
+          lo = std::min(lo, x);
+          hi = std::max(hi, x);
+          external = true;
+        }
+        if (!external) continue;
+        const double off = rel[k] + pin.offset_x;
+        breakpoints_.push_back(lo - off);
+        breakpoints_.push_back(hi - off);
+      }
+    }
+    if (breakpoints_.empty()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    std::sort(breakpoints_.begin(), breakpoints_.end());
+    const std::size_t m = breakpoints_.size();
+    return (breakpoints_[(m - 1) / 2] + breakpoints_[m / 2]) / 2.0;
+  }
+
+  bool try_shift(std::size_t r, std::size_t i, double new_lx,
+                 std::vector<CellId>& moved_cells) {
+    auto& row = rows_[r];
+    Entry& e = row[i];
+    const double lo_bound = i > 0 ? row[i - 1].hx() : design_->row(r).lx;
+    const double hi_bound =
+        i + 1 < row.size() ? row[i + 1].lx : design_->row(r).hx;
+    new_lx = std::clamp(new_lx, lo_bound, hi_bound - e.width);
+    new_lx = design_->snap_x(new_lx);
+    if (new_lx < lo_bound - 1e-9 || new_lx + e.width > hi_bound + 1e-9) {
+      new_lx = std::clamp(new_lx, lo_bound, hi_bound - e.width);
+      const double site = design_->site_width();
+      new_lx = design_->core().lx +
+               std::ceil((new_lx - design_->core().lx) / site - 1e-9) * site;
+      if (new_lx + e.width > hi_bound + 1e-9) return false;
+    }
+    const double dx = new_lx - e.lx;
+    if (std::abs(dx) < 1e-12) return false;
+
+    const double before = nets_hpwl(moved_cells);
+    for (std::size_t k = 0; k < moved_cells.size(); ++k) {
+      (*pl_)[moved_cells[k]].x += dx;
+    }
+    const double after = nets_hpwl(moved_cells);
+    if (after + 1e-12 < before) {
+      e.lx = new_lx;
+      return true;
+    }
+    for (CellId c : moved_cells) (*pl_)[c].x -= dx;
+    return false;
+  }
+
+  void slide_pass() {
+    std::vector<CellId> one(1);
+    std::vector<double> rel{0.0};
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        Entry& e = rows_[r][i];
+        if (e.unit != kNoUnit) continue;
+        one[0] = e.cell;
+        rel[0] = nl_->cell_width(e.cell) / 2.0;
+        const double x_opt = optimal_position(one, rel);
+        if (!std::isfinite(x_opt)) continue;
+        try_shift(r, i, x_opt, one);
+      }
+    }
+  }
+
+  void swap_pass() {
+    std::vector<CellId> pair(2);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      auto& row = rows_[r];
+      for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+        Entry& a = row[i];
+        Entry& b = row[i + 1];
+        if (a.unit != kNoUnit || b.unit != kNoUnit) continue;
+        const double gap = b.lx - a.hx();
+        const double new_b_lx = a.lx;
+        const double new_a_lx = a.lx + b.width + gap;
+        pair[0] = a.cell;
+        pair[1] = b.cell;
+        const double before = nets_hpwl(pair);
+        const double old_a_lx = a.lx, old_b_lx = b.lx;
+        (*pl_)[a.cell].x = new_a_lx + a.width / 2.0;
+        (*pl_)[b.cell].x = new_b_lx + b.width / 2.0;
+        const double after = nets_hpwl(pair);
+        if (after + 1e-12 < before) {
+          a.lx = new_a_lx;
+          b.lx = new_b_lx;
+          std::swap(row[i], row[i + 1]);
+        } else {
+          (*pl_)[a.cell].x = old_a_lx + a.width / 2.0;
+          (*pl_)[b.cell].x = old_b_lx + b.width / 2.0;
+        }
+      }
+    }
+  }
+
+  void unit_slide_pass() {
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        Entry& e = rows_[r][i];
+        if (e.unit == kNoUnit) continue;
+        const Unit& unit = (*units_)[static_cast<std::size_t>(e.unit)];
+        std::vector<CellId> cells = unit.cells;
+        std::vector<double> rel(cells.size());
+        for (std::size_t k = 0; k < cells.size(); ++k) {
+          rel[k] = (*pl_)[cells[k]].x - e.lx;
+        }
+        const double x_opt = optimal_position(cells, rel);
+        if (!std::isfinite(x_opt)) continue;
+        try_shift(r, i, x_opt, cells);
+      }
+    }
+  }
+
+  const netlist::Netlist* nl_;
+  const netlist::Design* design_;
+  netlist::Placement* pl_;
+  const std::vector<Unit>* units_;
+  std::vector<std::vector<Entry>> rows_;
+  std::vector<netlist::NetId> scratch_nets_;
+  std::vector<double> breakpoints_;
+};
+
+void run_plain(const netlist::Netlist& nl, const netlist::Design& design,
+               netlist::Placement& pl, const DetailOptions& options = {}) {
+  const std::vector<Unit> no_units;
+  Engine engine(nl, design, pl, no_units);
+  engine.optimize(options);
+}
+
+void run_structured(const netlist::Netlist& nl,
+                    const netlist::Design& design, netlist::Placement& pl,
+                    const netlist::StructureAnnotation& groups,
+                    const std::vector<bool>& bits_along_y,
+                    const DetailOptions& options = {}) {
+  std::vector<Unit> units;
+  for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+    const bool along_y = g < bits_along_y.size() ? bits_along_y[g] : true;
+    for (auto& lane : netlist::row_lanes(groups.groups[g], along_y)) {
+      if (lane.empty()) continue;
+      std::sort(lane.begin(), lane.end(), [&](CellId a, CellId b) {
+        return pl[a].x < pl[b].x;
+      });
+      std::vector<std::pair<std::size_t, CellId>> by_row;
+      by_row.reserve(lane.size());
+      for (CellId c : lane) {
+        by_row.emplace_back(design.nearest_row(pl[c].y), c);
+      }
+      std::stable_sort(
+          by_row.begin(), by_row.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::size_t start = 0;
+      while (start < by_row.size()) {
+        std::size_t end = start;
+        while (end < by_row.size() &&
+               by_row[end].first == by_row[start].first) {
+          ++end;
+        }
+        Unit u;
+        u.row = by_row[start].first;
+        double sum_w = 0.0, lo = 1e300, hi = -1e300;
+        for (std::size_t k = start; k < end; ++k) {
+          const CellId c = by_row[k].second;
+          u.cells.push_back(c);
+          sum_w += nl.cell_width(c);
+          lo = std::min(lo, pl[c].x - nl.cell_width(c) / 2.0);
+          hi = std::max(hi, pl[c].x + nl.cell_width(c) / 2.0);
+        }
+        if (hi - lo <= sum_w + 1e-9) {
+          units.push_back(std::move(u));
+        }
+        start = end;
+      }
+    }
+  }
+  Engine engine(nl, design, pl, units);
+  engine.optimize(options);
+}
+
+}  // namespace seedref
+
+/// Random scatter + Abacus legalization: the detailer's standard input.
+Placement legalized_scatter(const dpgen::Benchmark& bench,
+                            std::uint64_t seed) {
+  Placement pl = bench.placement;
+  util::Rng rng(seed);
+  const geom::Rect& core = bench.design.core();
+  for (CellId c = 0; c < bench.netlist.num_cells(); ++c) {
+    if (!bench.netlist.cell(c).fixed) {
+      pl[c] = {rng.uniform(core.lx, core.hx), rng.uniform(core.ly, core.hy)};
+    }
+  }
+  legal::AbacusLegalizer(bench.netlist, bench.design).run_all(pl);
+  return pl;
+}
+
+class DetailEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DetailEquivalence, BitwiseIdenticalToSeedImplementation) {
+  dpgen::Benchmark bench = dpgen::make_benchmark(GetParam());
+  const Placement start = legalized_scatter(bench, 42);
+
+  Placement pl_ref = start;
+  seedref::run_plain(bench.netlist, bench.design, pl_ref);
+
+  Placement pl_new = start;
+  DetailedPlacer placer(bench.netlist, bench.design);
+  const DetailStats stats = placer.run(pl_new);
+
+  for (CellId c = 0; c < bench.netlist.num_cells(); ++c) {
+    ASSERT_EQ(pl_new[c].x, pl_ref[c].x) << "cell " << c;
+    ASSERT_EQ(pl_new[c].y, pl_ref[c].y) << "cell " << c;
+  }
+  EXPECT_EQ(stats.hpwl_after, eval::hpwl(bench.netlist, pl_ref));
+}
+
+TEST_P(DetailEquivalence, StructuredModeBitwiseIdentical) {
+  dpgen::Benchmark bench = dpgen::make_benchmark(GetParam());
+  const Placement start = legalized_scatter(bench, 43);
+  std::vector<bool> along_y(bench.truth.groups.size(), true);
+
+  Placement pl_ref = start;
+  seedref::run_structured(bench.netlist, bench.design, pl_ref, bench.truth,
+                          along_y);
+
+  Placement pl_new = start;
+  DetailedPlacer placer(bench.netlist, bench.design);
+  placer.run_structured(pl_new, bench.truth, along_y);
+
+  for (CellId c = 0; c < bench.netlist.num_cells(); ++c) {
+    ASSERT_EQ(pl_new[c].x, pl_ref[c].x) << "cell " << c;
+    ASSERT_EQ(pl_new[c].y, pl_ref[c].y) << "cell " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, DetailEquivalence,
+                         ::testing::ValuesIn(dpgen::standard_benchmarks()));
+
+TEST(Detail, ParanoidModeMatchesSeedAndPassesAllChecks) {
+  dpgen::Benchmark bench = dpgen::make_benchmark("dp_alu32");
+  const Placement start = legalized_scatter(bench, 44);
+
+  Placement pl_ref = start;
+  seedref::run_plain(bench.netlist, bench.design, pl_ref);
+
+  Placement pl_new = start;
+  DetailedPlacer placer(bench.netlist, bench.design);
+  DetailOptions opt;
+  opt.paranoid = true;
+  const DetailStats stats = placer.run(pl_new, opt);
+
+  EXPECT_GT(stats.profile.paranoid_checks, 0u);
+  EXPECT_EQ(stats.profile.paranoid_failures, 0u);
+  for (CellId c = 0; c < bench.netlist.num_cells(); ++c) {
+    ASSERT_EQ(pl_new[c].x, pl_ref[c].x) << "cell " << c;
+    ASSERT_EQ(pl_new[c].y, pl_ref[c].y) << "cell " << c;
+  }
+}
+
+TEST(Detail, SwapWindowWidensTheSearch) {
+  LegalBench lb(5);
+  const double before = eval::hpwl(lb.bench->netlist, lb.pl);
+
+  Placement pl_wide = lb.pl;
+  DetailedPlacer placer(lb.bench->netlist, lb.bench->design);
+  DetailOptions opt;
+  opt.swap_window = 4;
+  const DetailStats stats = placer.run(pl_wide, opt);
+
+  // Still legal, still monotone, and the pass actually looked at more
+  // candidates than the adjacent-only default.
+  EXPECT_TRUE(
+      eval::check_legality(lb.bench->netlist, lb.bench->design, pl_wide)
+          .legal());
+  EXPECT_LE(stats.hpwl_after, before + 1e-9);
+
+  DetailStats narrow = placer.run(lb.pl);
+  EXPECT_GT(stats.profile.swap.candidates, narrow.profile.swap.candidates);
+}
+
+TEST(Detail, ProfileCountsAreConsistent) {
+  LegalBench lb(6);
+  DetailedPlacer placer(lb.bench->netlist, lb.bench->design);
+  const DetailStats stats = placer.run(lb.pl);
+  const Profile& p = stats.profile;
+  EXPECT_EQ(p.slide.accepted, stats.slides);
+  EXPECT_EQ(p.swap.accepted, stats.swaps);
+  EXPECT_EQ(p.unit_slide.accepted, stats.slice_slides);
+  EXPECT_LE(p.slide.accepted, p.slide.candidates);
+  EXPECT_LE(p.swap.accepted, p.swap.candidates);
+  // One resync before the pass loop plus one per executed pass.
+  EXPECT_EQ(p.resyncs, stats.passes + 1);
+  EXPECT_FALSE(p.to_string().empty());
 }
 
 TEST(Detail, StructuredModeKeepsContiguousLanesRigid) {
