@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the route::CongestionMap
+// kernels: full RUDY+pin rasterization on dp_alu32-sized data, a
+// thread-count sweep of the parallel build, a grid-resolution sweep, the
+// report() metric pass, and the cell-inflation feedback. Unless the
+// caller passes --benchmark_out, results are also written to
+// BENCH_route_kernels.json (machine-readable, consumed by CI).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "route/congestion.hpp"
+#include "route/inflation.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+const dp::dpgen::Benchmark& bench_data() {
+  static const dp::dpgen::Benchmark b = [] {
+    dp::bench::quiet_logs();
+    return dp::dpgen::make_benchmark("dp_alu32");
+  }();
+  return b;
+}
+
+/// Serial rasterization at the auto-selected grid resolution.
+void BM_CongestionBuild(benchmark::State& state) {
+  const auto& b = bench_data();
+  dp::route::CongestionMap map(b.netlist, b.design, {});
+  for (auto _ : state) {
+    map.build(b.placement);
+    benchmark::DoNotOptimize(map.demand_h().data());
+  }
+}
+BENCHMARK(BM_CongestionBuild);
+
+// Thread-count sweep (1/2/4/hardware) of the parallel build; results are
+// bitwise identical across the sweep, only the wall time may change.
+void thread_args(benchmark::internal::Benchmark* b) {
+  std::vector<long> counts = {1, 2, 4};
+  const long hw = static_cast<long>(std::thread::hardware_concurrency());
+  if (hw > 4) counts.push_back(hw);
+  for (const long c : counts) b->Arg(c);
+}
+
+void BM_CongestionBuildThreads(benchmark::State& state) {
+  const auto& b = bench_data();
+  dp::route::CongestionMap map(b.netlist, b.design, {});
+  map.set_thread_pool(std::make_shared<dp::util::ThreadPool>(
+      static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    map.build(b.placement);
+    benchmark::DoNotOptimize(map.demand_h().data());
+  }
+}
+BENCHMARK(BM_CongestionBuildThreads)->Apply(thread_args);
+
+/// Grid-resolution sweep: rasterization cost scales with bins touched per
+/// net, so finer grids stress the inner rasterization loop.
+void BM_CongestionBuildBins(benchmark::State& state) {
+  const auto& b = bench_data();
+  dp::route::CongestionOptions opt;
+  opt.bins_per_side = static_cast<std::size_t>(state.range(0));
+  dp::route::CongestionMap map(b.netlist, b.design, opt);
+  for (auto _ : state) {
+    map.build(b.placement);
+    benchmark::DoNotOptimize(map.demand_h().data());
+  }
+}
+BENCHMARK(BM_CongestionBuildBins)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+/// Metric extraction (peaks, overflow, ACE percentile sort) on a built map.
+void BM_CongestionReport(benchmark::State& state) {
+  const auto& b = bench_data();
+  dp::route::CongestionMap map(b.netlist, b.design, {});
+  map.build(b.placement);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.report());
+  }
+}
+BENCHMARK(BM_CongestionReport);
+
+/// One cell-inflation pass over all movable cells against a built map.
+void BM_InflateCells(benchmark::State& state) {
+  const auto& b = bench_data();
+  dp::route::CongestionMap map(b.netlist, b.design, {});
+  map.build(b.placement);
+  dp::route::InflationOptions opt;
+  opt.threshold = 0.5;  // well below peak so the slope path runs
+  const std::vector<double> base(b.netlist.num_cells(), 1.0);
+  const std::vector<bool> eligible(b.netlist.num_cells(), true);
+  std::vector<double> scale(b.netlist.num_cells(), 1.0);
+  for (auto _ : state) {
+    std::fill(scale.begin(), scale.end(), 1.0);
+    benchmark::DoNotOptimize(dp::route::inflate_cells(
+        b.netlist, map, b.placement, opt, base, eligible, scale));
+  }
+}
+BENCHMARK(BM_InflateCells);
+
+}  // namespace
+
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_route_kernels.json (JSON format) when the caller didn't choose an
+// output file, so a bare run always leaves a machine-readable record.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_route_kernels.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int args_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&args_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

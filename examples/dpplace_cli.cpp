@@ -18,6 +18,15 @@
 //                         scored by incremental delta evaluation)
 //   --paranoid            cross-check every accepted detail move against a
 //                         full HPWL recompute (slow; debugging aid)
+//   --congestion          estimate routing congestion (RUDY) after GP and
+//                         on the final placement; adds report lines and,
+//                         with --svg, a heatmap overlay layer
+//   --congestion-bins N   congestion grid side length (default 0 = auto)
+//   --congestion-refine   post-GP cell-inflation refinement: inflate cells
+//                         in overflowed bins and re-spread (implies
+//                         --congestion)
+//   --report-json FILE    dump the PlaceReport as JSON for scripted
+//                         experiment harvesting
 //   --out PREFIX          write PREFIX.{aux,nodes,nets,pl,scl}
 //   --svg FILE            write an SVG rendering
 //   --groups FILE         write the extracted structure annotation
@@ -30,10 +39,14 @@
 #include <optional>
 #include <string>
 
+#include <fstream>
+
+#include "core/report_json.hpp"
 #include "core/structure_placer.hpp"
 #include "dpgen/benchmarks.hpp"
 #include "eval/svg.hpp"
 #include "netlist/bookshelf.hpp"
+#include "route/congestion.hpp"
 #include "util/logger.hpp"
 #include "util/timer.hpp"
 
@@ -43,7 +56,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--bench NAME | --aux FILE) [--baseline] "
                "[--blocks] [--weight W] [--threads N] [--swap-window N] "
-               "[--paranoid] [--out PREFIX] [--svg FILE] [--groups FILE]\n",
+               "[--paranoid] [--congestion] [--congestion-bins N] "
+               "[--congestion-refine] [--report-json FILE] [--out PREFIX] "
+               "[--svg FILE] [--groups FILE]\n",
                argv0);
   return 2;
 }
@@ -54,7 +69,8 @@ int main(int argc, char** argv) {
   using namespace dp;
   util::Logger::set_level(util::LogLevel::kInfo);
 
-  std::string bench_name, aux_path, out_prefix, svg_path, groups_path;
+  std::string bench_name, aux_path, out_prefix, svg_path, groups_path,
+      json_path;
   core::PlacerConfig config;
   config.num_threads = 0;  // CLI default: use all hardware threads
   for (int i = 1; i < argc; ++i) {
@@ -82,6 +98,18 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--paranoid") {
       config.detail.paranoid = true;
+    } else if (arg == "--congestion") {
+      config.congestion.measure = true;
+    } else if (arg == "--congestion-bins") {
+      if (const char* v = next()) {
+        config.congestion.map.bins_per_side =
+            static_cast<std::size_t>(std::atol(v));
+      }
+    } else if (arg == "--congestion-refine") {
+      config.congestion.measure = true;
+      config.congestion.refine = true;
+    } else if (arg == "--report-json") {
+      if (const char* v = next()) json_path = v;
     } else if (arg == "--out") {
       if (const char* v = next()) out_prefix = v;
     } else if (arg == "--svg") {
@@ -120,28 +148,62 @@ int main(int argc, char** argv) {
   const core::PlaceReport report = placer.place(pl, truth);
   std::printf(
       "placed in %.2fs: HPWL=%.1f (gp %.1f, legal %.1f), %zu groups, "
-      "misalign=%.2f rows, legal=%s\n",
+      "misalign=%.2f rows, legal=%s%s\n",
       timer.seconds(), report.hpwl_final, report.hpwl_gp, report.hpwl_legal,
       report.structure.groups.size(), report.alignment.rms_misalignment,
-      report.legality.legal() ? "yes" : "NO");
+      report.legality.legal() ? "yes" : "NO",
+      report.legality.overlap_truncated ? " (overlap sweep truncated)" : "");
   std::printf("gp eval profile: %s\n",
               report.gp_result.profile.to_string().c_str());
   std::printf("detail profile: %s\n",
               report.detail_stats.profile.to_string().c_str());
+  if (report.congestion_measured) {
+    const auto& c = report.congestion;
+    std::printf(
+        "congestion (%zux%zu bins): peak=%.2f (h %.2f, v %.2f) "
+        "overflow=%.1f%% bins>cap=%zu ace 0.5/1/2/5%%=%.2f/%.2f/%.2f/%.2f\n",
+        c.bins, c.bins, c.peak, c.peak_h, c.peak_v, c.overflow_frac * 100.0,
+        c.overflowed_bins, c.ace_0_5, c.ace_1, c.ace_2, c.ace_5);
+    std::printf("congestion gp -> final: peak %.2f -> %.2f, overflow "
+                "%.1f%% -> %.1f%%",
+                report.congestion_gp.peak, c.peak,
+                report.congestion_gp.overflow_frac * 100.0,
+                c.overflow_frac * 100.0);
+    if (config.congestion.refine) {
+      std::printf(" (refine: %zu iter(s), %zu cells inflated, gp hpwl "
+                  "%.1f -> %.1f)",
+                  report.congestion_refine_iters,
+                  report.congestion_inflated_cells, report.hpwl_pre_refine,
+                  report.hpwl_gp);
+    }
+    std::printf("\n");
+  }
 
   if (!out_prefix.empty()) {
     netlist::write_bookshelf(out_prefix, nl, design, pl);
     std::printf("wrote %s.{aux,nodes,nets,pl,scl}\n", out_prefix.c_str());
   }
   if (!svg_path.empty()) {
-    eval::write_svg(svg_path, nl, design, pl,
-                    report.structure.groups.empty() ? nullptr
-                                                    : &report.structure);
+    eval::SvgOptions svg_options;
+    svg_options.groups =
+        report.structure.groups.empty() ? nullptr : &report.structure;
+    if (report.congestion_measured) {
+      route::CongestionMap cmap(nl, design, config.congestion.map);
+      cmap.build(pl);
+      svg_options.heatmap_bins = cmap.bins_per_side();
+      svg_options.heatmap = cmap.ratios();
+    }
+    eval::write_svg(svg_path, nl, design, pl, svg_options);
     std::printf("wrote %s\n", svg_path.c_str());
   }
   if (!groups_path.empty()) {
     netlist::write_groups(groups_path, nl, report.structure);
     std::printf("wrote %s\n", groups_path.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream json_out(json_path);
+    json_out << core::report_to_json(report) << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
   }
   return report.legality.legal() ? 0 : 1;
 }

@@ -1,9 +1,14 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON files and flag regressions.
+"""Compare google-benchmark JSON files and flag regressions.
 
 Usage:
-    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.5]
-                     [--filter REGEX]
+    bench_compare.py BASELINE.json CURRENT.json
+                     [BASELINE2.json CURRENT2.json ...]
+                     [--threshold 0.5] [--filter REGEX]
+
+Positional arguments are baseline/current pairs; several pairs may be
+compared in one invocation (e.g. the detail-kernel and route-kernel
+baselines side by side in CI), each reported under its own heading.
 
 Benchmarks are matched by name. When a file was produced with
 --benchmark_repetitions and aggregate reporting, the median aggregate is
@@ -43,19 +48,10 @@ def load_times(path):
     return times
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--threshold", type=float, default=0.5,
-                    help="allowed slowdown fraction (default 0.5 = +50%%)")
-    ap.add_argument("--filter", default=None,
-                    help="only compare benchmark names matching this regex")
-    args = ap.parse_args()
-
-    base = load_times(args.baseline)
-    cur = load_times(args.current)
-    pattern = re.compile(args.filter) if args.filter else None
+def compare_pair(baseline, current, threshold, pattern):
+    """Print a comparison table; return the list of (name, ratio) regressions."""
+    base = load_times(baseline)
+    cur = load_times(current)
 
     names = sorted(set(base) | set(cur))
     if pattern:
@@ -71,11 +67,38 @@ def main():
             continue
         ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
         flag = ""
-        if ratio > 1.0 + args.threshold:
+        if ratio > 1.0 + threshold:
             regressions.append((name, ratio))
             flag = "  << REGRESSION"
         print(f"{name:<{width}}  {base[name]:>10.0f}ns  {cur[name]:>10.0f}ns"
               f"  {ratio:5.2f}x{flag}")
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", metavar="BASELINE CURRENT",
+                    help="one or more baseline/current JSON pairs")
+    ap.add_argument("--threshold", type=float, default=0.5,
+                    help="allowed slowdown fraction (default 0.5 = +50%%)")
+    ap.add_argument("--filter", default=None,
+                    help="only compare benchmark names matching this regex")
+    args = ap.parse_args()
+
+    if len(args.files) % 2 != 0:
+        ap.error("expected an even number of files (baseline/current pairs)")
+    pattern = re.compile(args.filter) if args.filter else None
+    pairs = [(args.files[i], args.files[i + 1])
+             for i in range(0, len(args.files), 2)]
+
+    regressions = []
+    for i, (baseline, current) in enumerate(pairs):
+        if len(pairs) > 1:
+            if i > 0:
+                print()
+            print(f"== {baseline} vs {current} ==")
+        regressions += compare_pair(baseline, current, args.threshold,
+                                    pattern)
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "

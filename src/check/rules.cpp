@@ -286,13 +286,19 @@ void rule_site_align(const CheckContext& ctx, DiagnosticSink& sink) {
 /// No two movable cells overlap, via the row-bucketed sweep shared with
 /// eval::check_legality.
 void rule_overlap(const CheckContext& ctx, DiagnosticSink& sink) {
+  bool truncated = false;
   const auto pairs = eval::overlap_pairs(*ctx.netlist, *ctx.design,
                                          *ctx.placement, ctx.tolerance,
-                                         /*max_pairs=*/4096);
+                                         /*max_pairs=*/4096, &truncated);
   for (const eval::OverlapPair& p : pairs) {
     sink.report(Severity::kError, "legal.overlap", Anchor::cell(p.a),
                 "overlaps cell '" + ctx.netlist->cell(p.b).name + "' (id " +
                     std::to_string(p.b) + ") by area " + fmt("%g", p.area));
+  }
+  if (truncated) {
+    sink.report(Severity::kWarning, "legal.overlap-truncated", Anchor::none(),
+                "overlap sweep stopped at " + std::to_string(pairs.size()) +
+                    " pairs; overlap counts are a lower bound");
   }
 }
 

@@ -1,0 +1,119 @@
+#include "core/report_json.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace dp::core {
+
+namespace {
+
+/// Doubles with enough digits to round-trip; NaN/inf become null (JSON
+/// has no literal for them).
+void append_number(std::ostringstream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  const auto old_precision = out.precision(17);
+  out << v;
+  out.precision(old_precision);
+}
+
+void append_congestion(std::ostringstream& out,
+                       const route::CongestionReport& c) {
+  out << "{\"bins\":" << c.bins << ",\"peak\":";
+  append_number(out, c.peak);
+  out << ",\"peak_h\":";
+  append_number(out, c.peak_h);
+  out << ",\"peak_v\":";
+  append_number(out, c.peak_v);
+  out << ",\"overflow_total\":";
+  append_number(out, c.overflow_total);
+  out << ",\"overflow_frac\":";
+  append_number(out, c.overflow_frac);
+  out << ",\"overflowed_bins\":" << c.overflowed_bins << ",\"ace\":{\"0.5\":";
+  append_number(out, c.ace_0_5);
+  out << ",\"1\":";
+  append_number(out, c.ace_1);
+  out << ",\"2\":";
+  append_number(out, c.ace_2);
+  out << ",\"5\":";
+  append_number(out, c.ace_5);
+  out << "}}";
+}
+
+}  // namespace
+
+std::string report_to_json(const PlaceReport& report) {
+  std::ostringstream out;
+  out << "{\"hpwl\":{\"gp\":";
+  append_number(out, report.hpwl_gp);
+  out << ",\"pre_refine\":";
+  append_number(out, report.hpwl_pre_refine);
+  out << ",\"first_legal\":";
+  append_number(out, report.hpwl_first_legal);
+  out << ",\"legal\":";
+  append_number(out, report.hpwl_legal);
+  out << ",\"final\":";
+  append_number(out, report.hpwl_final);
+  out << "},\"datapath_hpwl\":{\"gp\":";
+  append_number(out, report.datapath_hpwl_gp);
+  out << ",\"final\":";
+  append_number(out, report.datapath_hpwl_final);
+  out << "},\"alignment\":{\"gp_rms\":";
+  append_number(out, report.alignment_gp);
+  out << ",\"final_rms\":";
+  append_number(out, report.alignment.rms_misalignment);
+  out << ",\"worst_group\":";
+  append_number(out, report.alignment.worst_group);
+  out << "},\"runtime\":{\"extract\":";
+  append_number(out, report.t_extract);
+  out << ",\"gp\":";
+  append_number(out, report.t_gp);
+  out << ",\"congestion\":";
+  append_number(out, report.t_congestion);
+  out << ",\"legal\":";
+  append_number(out, report.t_legal);
+  out << ",\"detail\":";
+  append_number(out, report.t_detail);
+  out << ",\"total\":";
+  append_number(out, report.t_total);
+  out << "},\"legality\":{\"legal\":"
+      << (report.legality.legal() ? "true" : "false")
+      << ",\"overlaps\":" << report.legality.overlaps
+      << ",\"off_row\":" << report.legality.off_row
+      << ",\"off_site\":" << report.legality.off_site
+      << ",\"out_of_core\":" << report.legality.out_of_core
+      << ",\"total_overlap_area\":";
+  append_number(out, report.legality.total_overlap_area);
+  out << ",\"overlap_truncated\":"
+      << (report.legality.overlap_truncated ? "true" : "false")
+      << "},\"structure\":{\"groups\":" << report.structure.groups.size()
+      << ",\"cells\":" << report.structure.total_cells()
+      << ",\"extraction_seeds\":" << report.extraction_seeds
+      << ",\"legal_blocks\":" << report.legal_blocks
+      << ",\"legal_fallback\":" << report.legal_fallback
+      << "},\"gp\":{\"final_overflow\":";
+  append_number(out, report.gp_result.final_overflow);
+  out << ",\"outer_iterations\":" << report.gp_result.trace.size()
+      << ",\"cg_iterations\":" << report.gp_result.total_cg_iterations
+      << ",\"evaluations\":" << report.gp_result.total_evaluations
+      << "},\"congestion\":";
+  if (report.congestion_measured) {
+    out << "{\"gp\":";
+    append_congestion(out, report.congestion_gp);
+    out << ",\"final\":";
+    append_congestion(out, report.congestion);
+    out << ",\"refine_iters\":" << report.congestion_refine_iters
+        << ",\"inflated_cells\":" << report.congestion_inflated_cells << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\"checks\":{\"run\":" << report.checks.size() << ",\"errors\":"
+      << report.diagnostics.num_errors()
+      << ",\"warnings\":" << report.diagnostics.num_warnings()
+      << ",\"ok\":" << (report.checks_ok() ? "true" : "false") << "}}";
+  return out.str();
+}
+
+}  // namespace dp::core

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "core/structure_placer.hpp"
+
+namespace dp::core {
+
+/// Serialize a PlaceReport as a JSON object for scripted experiment
+/// harvesting (`dpplace_cli --report-json`). Covers the quality numbers
+/// (HPWL per stage, datapath HPWL, alignment), stage runtimes, legality
+/// (including the overlap-sweep truncation flag), structure summary,
+/// congestion reports, and the phase-check summaries. Numbers are emitted
+/// with enough digits to round-trip doubles.
+std::string report_to_json(const PlaceReport& report);
+
+}  // namespace dp::core

@@ -6,7 +6,9 @@
 #include "core/partition.hpp"
 
 #include "legal/repair.hpp"
+#include "route/congestion.hpp"
 #include "util/logger.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace dp::core {
@@ -198,6 +200,125 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
   }
   stage.restart();
 
+  // ---- phase 2b: congestion estimation + cell-inflation refinement ---------
+  report.hpwl_pre_refine = report.hpwl_gp;
+  if (config_.congestion.enabled()) {
+    const route::CongestionControl& cc = config_.congestion;
+    route::CongestionMap cmap(*nl_, *design_, cc.map);
+    cmap.set_thread_pool(
+        std::make_shared<util::ThreadPool>(config_.num_threads));
+    cmap.build(pl);
+    report.congestion_measured = true;
+    report.congestion_gp = cmap.report();
+    util::Logger::info(
+        "congestion (gp): peak=%.2f overflow=%.1f%% bins>cap=%zu/%zu",
+        report.congestion_gp.peak, report.congestion_gp.overflow_frac * 100.0,
+        report.congestion_gp.overflowed_bins,
+        report.congestion_gp.bins * report.congestion_gp.bins);
+
+    if (cc.refine) {
+      // In the structure-aware flow the datapath plates keep the alignment
+      // the GP phase bought: only glue cells inflate and re-spread, the
+      // plates act as density obstacles.
+      std::vector<bool> eligible(nl_->num_cells(), true);
+      if (structured) {
+        for (const auto& g : report.structure.groups) {
+          for (netlist::CellId c : g.cells) {
+            if (c != netlist::kInvalidId) eligible[c] = false;
+          }
+        }
+      }
+      std::vector<double> base = density_scale;
+      if (base.empty()) base.assign(nl_->num_cells(), 1.0);
+      std::vector<double> scale = base;
+
+      // Acceptance is judged on a cheap legalized proxy of each candidate
+      // (Abacus on a copy), not on the raw GP placement: legalization can
+      // amplify or even invert a GP-stage improvement, and the 1% final-
+      // HPWL budget only holds if the guard sees that amplification.
+      auto proxy_eval = [&](const netlist::Placement& cand) {
+        netlist::Placement copy = cand;
+        legal::AbacusLegalizer proxy_legalizer(*nl_, *design_);
+        proxy_legalizer.run_all(copy);
+        cmap.build(copy);
+        return std::make_pair(eval::hpwl(*nl_, copy), cmap.report());
+      };
+      const auto [proxy_hpwl0, proxy_rep0] = proxy_eval(pl);
+      double best_proxy_peak = proxy_rep0.peak;
+
+      route::CongestionReport cur = report.congestion_gp;
+      const double hpwl_before = report.hpwl_gp;
+      netlist::Placement accepted = pl;
+      for (std::size_t iter = 0; iter < cc.max_iters; ++iter) {
+        if (cur.peak <= cc.stop_peak) break;
+        cmap.build(pl);
+        const std::size_t grown = route::inflate_cells(
+            *nl_, cmap, pl, cc.inflation, base, eligible, scale);
+        if (grown == 0) break;
+
+        gp::GpOptions opt = config_.gp;
+        opt.run_quadratic_init = false;
+        opt.max_outer = cc.spread_outer;
+        opt.plateau_stall = 0;
+        opt.gamma_init_bins = 2.0;
+        // One-sided density: only bins pushed over the target by the
+        // inflated cells spread; everything else stays at its wirelength
+        // optimum, which keeps the HPWL price of congestion relief small.
+        opt.one_sided_max_density = cc.spread_max_density;
+        std::unique_ptr<gp::GlobalPlacer> spreader;
+        if (structured) {
+          std::vector<bool> mask(nl_->num_cells(), false);
+          for (netlist::CellId c = 0; c < nl_->num_cells(); ++c) {
+            mask[c] = !nl_->cell(c).fixed && eligible[c];
+          }
+          spreader = std::make_unique<gp::GlobalPlacer>(
+              *nl_, *design_, opt, gp::VarMap(*nl_, mask));
+        } else {
+          spreader =
+              std::make_unique<gp::GlobalPlacer>(*nl_, *design_, opt);
+        }
+        spreader->set_density_area_scale(scale);
+        const gp::GpResult res = spreader->place(pl);
+        report.gp_result.profile.merge(res.profile);
+
+        cmap.build(pl);
+        const route::CongestionReport after = cmap.report();
+        const auto [proxy_hpwl, proxy_rep] = proxy_eval(pl);
+        const bool within_budget =
+            proxy_hpwl <= proxy_hpwl0 * (1.0 + cc.hpwl_guard) &&
+            proxy_rep.peak < best_proxy_peak;
+        util::Logger::debug(
+            "congestion refine %zu: %zu cells inflated, peak %.2f -> %.2f, "
+            "hpwl %.1f -> %.1f, proxy peak %.2f -> %.2f, proxy hpwl "
+            "%.1f -> %.1f%s",
+            iter + 1, grown, cur.peak, after.peak, hpwl_before,
+            res.final_hpwl, best_proxy_peak, proxy_rep.peak, proxy_hpwl0,
+            proxy_hpwl, within_budget ? "" : " (over budget, revert)");
+        if (after.peak < cur.peak && within_budget) {
+          best_proxy_peak = proxy_rep.peak;
+          cur = after;
+          accepted = pl;
+          report.hpwl_gp = res.final_hpwl;
+          report.congestion_inflated_cells += grown;
+          ++report.congestion_refine_iters;
+        } else {
+          pl = accepted;
+          break;
+        }
+      }
+      pl = accepted;
+      if (report.congestion_refine_iters > 0) {
+        util::Logger::info(
+            "congestion refine: %zu iteration(s), peak %.2f -> %.2f, "
+            "gp hpwl %.1f -> %.1f",
+            report.congestion_refine_iters, report.congestion_gp.peak,
+            cur.peak, hpwl_before, report.hpwl_gp);
+      }
+    }
+  }
+  report.t_congestion = stage.seconds();
+  stage.restart();
+
   // ---- phase 3: legalization ------------------------------------------------
   if (config_.structure_aware && alignment != nullptr &&
       config_.legalization == LegalizationMode::kGentle) {
@@ -377,6 +498,13 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
   // ---- reporting -------------------------------------------------------------
   report.hpwl_final = eval::hpwl(*nl_, pl);
   report.legality = eval::check_legality(*nl_, *design_, pl);
+  if (config_.congestion.enabled()) {
+    route::CongestionMap cmap(*nl_, *design_, config_.congestion.map);
+    cmap.set_thread_pool(
+        std::make_shared<util::ThreadPool>(config_.num_threads));
+    cmap.build(pl);
+    report.congestion = cmap.report();
+  }
   const netlist::StructureAnnotation* for_eval =
       !report.structure.groups.empty() ? &report.structure : truth;
   if (for_eval != nullptr) {

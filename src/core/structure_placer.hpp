@@ -13,6 +13,7 @@
 #include "legal/abacus.hpp"
 #include "legal/structure_legal.hpp"
 #include "legal/tetris.hpp"
+#include "route/inflation.hpp"
 
 namespace dp::core {
 
@@ -90,6 +91,15 @@ struct PlacerConfig {
   /// Findings land in PlaceReport::checks / PlaceReport::diagnostics, so
   /// corruption is caught at the phase that introduced it.
   check::CheckLevel check_level = check::CheckLevel::kOff;
+
+  /// Routing-congestion estimation and the optional post-GP cell-inflation
+  /// refinement (see route::CongestionControl). Off by default; with
+  /// `measure` set, PlaceReport::congestion_gp / congestion are filled;
+  /// with `refine` set, overflowed bins drive cell inflation and a short
+  /// density re-spread before legalization. In the structure-aware flow
+  /// only glue cells are inflated/re-spread -- datapath plates keep the
+  /// alignment the GP phase bought.
+  route::CongestionControl congestion;
 };
 
 /// Invariant-check outcome of one pipeline phase hook.
@@ -113,6 +123,7 @@ struct PlaceReport {
   // Stage runtimes (seconds).
   double t_extract = 0.0;
   double t_gp = 0.0;
+  double t_congestion = 0.0;  ///< estimation + refinement (0 when off)
   double t_legal = 0.0;
   double t_detail = 0.0;
   double t_total = 0.0;
@@ -132,6 +143,19 @@ struct PlaceReport {
   netlist::StructureAnnotation structure;
   std::size_t extraction_seeds = 0;
   double extraction_seconds = 0.0;
+
+  /// Routing congestion (filled when PlacerConfig::congestion is
+  /// enabled): after global placement (before any congestion-aware
+  /// refinement) and on the final detailed placement.
+  bool congestion_measured = false;
+  route::CongestionReport congestion_gp;
+  route::CongestionReport congestion;
+  /// Cell-inflation refinement outcome (when congestion.refine is set).
+  std::size_t congestion_refine_iters = 0;
+  std::size_t congestion_inflated_cells = 0;
+  /// GP-stage HPWL before the refinement loop touched the placement
+  /// (== hpwl_gp when refinement is off or never triggered).
+  double hpwl_pre_refine = 0.0;
 
   /// Phase-hook check results, in pipeline order (empty when
   /// PlacerConfig::check_level == kOff).

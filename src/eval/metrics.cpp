@@ -78,8 +78,10 @@ std::vector<OverlapPair> overlap_pairs(const netlist::Netlist& nl,
                                        const netlist::Design& design,
                                        const netlist::Placement& pl,
                                        double tolerance,
-                                       std::size_t max_pairs) {
+                                       std::size_t max_pairs,
+                                       bool* truncated) {
   std::vector<OverlapPair> pairs;
+  if (truncated != nullptr) *truncated = false;
   const auto rows = bucket_by_row(nl, design, pl);
   for (const auto& row : rows) {
     for (std::size_t i = 0; i < row.size(); ++i) {
@@ -89,7 +91,10 @@ std::vector<OverlapPair> overlap_pairs(const netlist::Netlist& nl,
         const double width = std::min(ov, row[j].hx - row[j].lx);
         pairs.push_back(
             {row[i].cell, row[j].cell, width * design.row_height()});
-        if (pairs.size() >= max_pairs) return pairs;
+        if (pairs.size() >= max_pairs) {
+          if (truncated != nullptr) *truncated = true;
+          return pairs;
+        }
       }
     }
   }
@@ -123,7 +128,9 @@ LegalityReport check_legality(const netlist::Netlist& nl,
     }
   }
 
-  for (const OverlapPair& p : overlap_pairs(nl, design, pl, tolerance)) {
+  for (const OverlapPair& p : overlap_pairs(nl, design, pl, tolerance,
+                                            /*max_pairs=*/100000,
+                                            &rep.overlap_truncated)) {
     ++rep.overlaps;
     rep.total_overlap_area += p.area;
   }

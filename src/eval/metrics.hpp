@@ -29,6 +29,9 @@ struct LegalityReport {
   std::size_t off_site = 0;        ///< cells not aligned to the site grid
   std::size_t out_of_core = 0;     ///< cells sticking out of the core
   double total_overlap_area = 0.0;
+  /// True when the overlap sweep stopped at its pair cap: `overlaps` and
+  /// `total_overlap_area` are then lower bounds, not complete counts.
+  bool overlap_truncated = false;
 
   bool legal() const {
     return overlaps == 0 && off_row == 0 && off_site == 0 && out_of_core == 0;
@@ -50,12 +53,15 @@ struct OverlapPair {
 /// All pairs of overlapping movable cells, via a row-bucketed sweep
 /// (cells are assigned to the row nearest their center; off-row cells are
 /// the row-alignment check's problem). Collection stops after `max_pairs`
-/// so a fully collapsed placement cannot produce a quadratic result list.
+/// so a fully collapsed placement cannot produce a quadratic result list;
+/// when that cap fires, `*truncated` (if non-null) is set so a capped
+/// sweep can't read as a complete one.
 std::vector<OverlapPair> overlap_pairs(const netlist::Netlist& netlist,
                                        const netlist::Design& design,
                                        const netlist::Placement& pl,
                                        double tolerance = 1e-6,
-                                       std::size_t max_pairs = 100000);
+                                       std::size_t max_pairs = 100000,
+                                       bool* truncated = nullptr);
 
 /// Structure alignment quality of a placement, for one annotation.
 ///

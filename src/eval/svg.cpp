@@ -1,5 +1,7 @@
 #include "eval/svg.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 
 #include "geom/rect.hpp"
@@ -9,9 +11,24 @@ namespace dp::eval {
 using netlist::CellId;
 using netlist::kInvalidId;
 
+namespace {
+
+/// Green -> yellow -> red ramp for congestion ratios; full red at 2x
+/// capacity. Returns "#rrggbb".
+std::string heat_color(double ratio) {
+  const double t = std::clamp(ratio / 2.0, 0.0, 1.0);
+  const int r = t < 0.5 ? static_cast<int>(255 * 2 * t) : 255;
+  const int g = t < 0.5 ? 255 : static_cast<int>(255 * 2 * (1.0 - t));
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x00", r, g);
+  return buf;
+}
+
+}  // namespace
+
 void write_svg(const std::string& path, const netlist::Netlist& nl,
                const netlist::Design& design, const netlist::Placement& pl,
-               const netlist::StructureAnnotation* groups) {
+               const SvgOptions& options) {
   std::ofstream out(path);
   if (!out) return;
   const geom::Rect& core = design.core();
@@ -24,14 +41,34 @@ void write_svg(const std::string& path, const netlist::Netlist& nl,
   out << "<svg xmlns='http://www.w3.org/2000/svg' width='"
       << core.width() * scale + 2 * margin << "' height='"
       << core.height() * scale + 2 * margin << "'>\n";
-  out << "<rect x='" << X(core.lx) << "' y='" << Y(core.hy) << "' width='"
-      << core.width() * scale << "' height='" << core.height() * scale
-      << "' fill='white' stroke='black'/>\n";
+  out << "<rect class='core' x='" << X(core.lx) << "' y='" << Y(core.hy)
+      << "' width='" << core.width() * scale << "' height='"
+      << core.height() * scale << "' fill='white' stroke='black'/>\n";
+
+  // Congestion heatmap layer: one translucent rect per bin, below the
+  // cells so hotspots read through the placement.
+  if (options.heatmap_bins > 0 &&
+      options.heatmap.size() >= options.heatmap_bins * options.heatmap_bins) {
+    const std::size_t nb = options.heatmap_bins;
+    const double bw = core.width() / static_cast<double>(nb);
+    const double bh = core.height() / static_cast<double>(nb);
+    for (std::size_t by = 0; by < nb; ++by) {
+      for (std::size_t bx = 0; bx < nb; ++bx) {
+        const double ratio = options.heatmap[by * nb + bx];
+        out << "<rect class='heat' x='"
+            << X(core.lx + static_cast<double>(bx) * bw) << "' y='"
+            << Y(core.ly + static_cast<double>(by + 1) * bh) << "' width='"
+            << bw * scale << "' height='" << bh * scale << "' fill='"
+            << heat_color(ratio) << "' fill-opacity='"
+            << std::clamp(0.35 * ratio, 0.0, 0.6) << "'/>\n";
+      }
+    }
+  }
 
   std::vector<int> group_of(nl.num_cells(), -1);
-  if (groups != nullptr) {
-    for (std::size_t g = 0; g < groups->groups.size(); ++g) {
-      for (CellId c : groups->groups[g].cells) {
+  if (options.groups != nullptr) {
+    for (std::size_t g = 0; g < options.groups->groups.size(); ++g) {
+      for (CellId c : options.groups->groups[g].cells) {
         if (c != kInvalidId) group_of[c] = static_cast<int>(g);
       }
     }
@@ -45,16 +82,25 @@ void write_svg(const std::string& path, const netlist::Netlist& nl,
     if (nl.cell(c).fixed) continue;
     const double w = nl.cell_width(c) * scale;
     const double h = nl.cell_height(c) * scale;
+    const bool dp = group_of[c] >= 0;
     const char* fill =
-        group_of[c] >= 0
-            ? kColors[static_cast<std::size_t>(group_of[c]) % kNumColors]
-            : "#cccccc";
-    out << "<rect x='" << X(pl[c].x - nl.cell_width(c) / 2.0) << "' y='"
+        dp ? kColors[static_cast<std::size_t>(group_of[c]) % kNumColors]
+           : "#cccccc";
+    out << "<rect class='" << (dp ? "cell dp" : "cell") << "' x='"
+        << X(pl[c].x - nl.cell_width(c) / 2.0) << "' y='"
         << Y(pl[c].y + nl.cell_height(c) / 2.0) << "' width='" << w
         << "' height='" << h << "' fill='" << fill
         << "' fill-opacity='0.8' stroke='black' stroke-width='0.3'/>\n";
   }
   out << "</svg>\n";
+}
+
+void write_svg(const std::string& path, const netlist::Netlist& nl,
+               const netlist::Design& design, const netlist::Placement& pl,
+               const netlist::StructureAnnotation* groups) {
+  SvgOptions options;
+  options.groups = groups;
+  write_svg(path, nl, design, pl, options);
 }
 
 }  // namespace dp::eval

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "netlist/design.hpp"
 #include "netlist/netlist.hpp"
@@ -8,9 +10,27 @@
 
 namespace dp::eval {
 
-/// Writes an SVG rendering of a placement: core outline, rows, movable
-/// cells (grey), and datapath groups (one color per group). Debugging and
-/// documentation aid.
+/// Optional layers of an SVG rendering.
+struct SvgOptions {
+  /// Color datapath groups (one color per group); null = all cells grey.
+  const netlist::StructureAnnotation* groups = nullptr;
+  /// Congestion heatmap overlay: a `heatmap_bins` x `heatmap_bins`
+  /// row-major grid of congestion ratios (route::CongestionMap::ratios()),
+  /// rendered as translucent bins between the core outline and the cells.
+  /// 0 bins = no heatmap layer.
+  std::size_t heatmap_bins = 0;
+  std::vector<double> heatmap;
+};
+
+/// Writes an SVG rendering of a placement: core outline (class 'core'),
+/// optional congestion heatmap bins (class 'heat'), movable cells (class
+/// 'cell', or 'cell dp' with a per-group color for datapath cells).
+/// Debugging and documentation aid.
+void write_svg(const std::string& path, const netlist::Netlist& nl,
+               const netlist::Design& design, const netlist::Placement& pl,
+               const SvgOptions& options);
+
+/// Convenience overload: groups layer only.
 void write_svg(const std::string& path, const netlist::Netlist& nl,
                const netlist::Design& design, const netlist::Placement& pl,
                const netlist::StructureAnnotation* groups = nullptr);

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "route/congestion.hpp"
+
+namespace dp::route {
+
+/// Cell-inflation feedback: how overflowed bins translate into density
+/// area scaling for the re-spreading pass.
+struct InflationOptions {
+  /// Bins with combined congestion ratio above this are overflowed.
+  double threshold = 1.0;
+  /// Area multiplier slope: a cell in a bin at ratio r gains
+  /// `1 + rate * (r - threshold)` area (clamped below by 1).
+  double rate = 0.25;
+  /// Cumulative per-cell inflation cap across refinement iterations.
+  double max_scale = 2.5;
+};
+
+/// Congestion-aware placement refinement knobs (PlacerConfig::congestion).
+struct CongestionControl {
+  /// Rasterize congestion and fill the PlaceReport congestion fields
+  /// (after GP and on the final placement). Implied by `refine`.
+  bool measure = false;
+  /// Post-GP cell-inflation loop: inflate cells in overflowed bins,
+  /// re-spread with the density machinery, repeat up to `max_iters`.
+  bool refine = false;
+  std::size_t max_iters = 3;
+  /// Stop once the peak bin ratio is at or below this.
+  double stop_peak = 1.0;
+  /// Outer GP iterations of each re-spreading pass.
+  std::size_t spread_outer = 8;
+  /// One-sided density cap of the re-spreading pass (see
+  /// gp::GpOptions::one_sided_max_density): only bins above this density
+  /// are pushed apart, under-full regions keep their wirelength optimum.
+  double spread_max_density = 0.9;
+  /// Abort (and revert) a refinement iteration whose *legalized* HPWL
+  /// (measured on a cheap Abacus-legalized proxy of the candidate, so
+  /// legalization amplification is visible to the guard) exceeds the
+  /// pre-refinement legalized HPWL by more than this fraction.
+  double hpwl_guard = 0.01;
+
+  CongestionOptions map;
+  InflationOptions inflation;
+
+  bool enabled() const { return measure || refine; }
+};
+
+/// Multiply `scale` (density area factor per CellId) by the inflation of
+/// each movable cell's bin, clamping the cumulative factor to
+/// `opt.max_scale` times `base`. `base` holds the pre-inflation scale
+/// (the macro-shrink factors), so the cap is relative to the pipeline's
+/// own scaling, not absolute. Cells with `eligible[c] == false` are
+/// skipped (e.g. frozen datapath plate members). Returns the number of
+/// cells whose scale grew. Deterministic: cells are visited in id order.
+std::size_t inflate_cells(const netlist::Netlist& nl,
+                          const CongestionMap& map,
+                          const netlist::Placement& pl,
+                          const InflationOptions& opt,
+                          const std::vector<double>& base,
+                          const std::vector<bool>& eligible,
+                          std::vector<double>& scale);
+
+}  // namespace dp::route

@@ -89,8 +89,17 @@ TEST(OverlapPairs, RespectsPairCap) {
   const auto nl = b.take();
   const netlist::Design design(geom::Rect{0, 0, 10, 4}, 1.0, 0.25);
   Placement pl(10, geom::Point{1.0, 0.5});  // all stacked: 45 pairs
-  EXPECT_EQ(overlap_pairs(nl, design, pl).size(), 45u);
-  EXPECT_EQ(overlap_pairs(nl, design, pl, 1e-6, 7).size(), 7u);
+  bool truncated = true;
+  EXPECT_EQ(overlap_pairs(nl, design, pl, 1e-6, 100000, &truncated).size(),
+            45u);
+  EXPECT_FALSE(truncated) << "complete sweep must clear the flag";
+  EXPECT_EQ(overlap_pairs(nl, design, pl, 1e-6, 7, &truncated).size(), 7u);
+  EXPECT_TRUE(truncated);
+  // A cap just above the true pair count never fires.
+  EXPECT_EQ(overlap_pairs(nl, design, pl, 1e-6, 46, &truncated).size(), 45u);
+  EXPECT_FALSE(truncated);
+  // check_legality carries the flag through its report.
+  EXPECT_FALSE(check_legality(nl, design, pl).overlap_truncated);
 }
 
 TEST(Legality, DetectsOutOfCore) {
@@ -148,18 +157,70 @@ TEST(DensityOverflow, ZeroWithoutCells) {
   EXPECT_DOUBLE_EQ(density_overflow(nl, design, pl, 1.0), 0.0);
 }
 
-TEST(Svg, WritesNonEmptyFile) {
-  const dpgen::Benchmark bench = dpgen::make_benchmark("dp_add32");
-  const std::string path = ::testing::TempDir() + "svg_test.svg";
-  write_svg(path, bench.netlist, bench.design, bench.placement,
-            &bench.truth);
+std::string read_and_remove(const std::string& path) {
   std::ifstream in(path);
-  ASSERT_TRUE(in.good());
+  EXPECT_TRUE(in.good()) << path;
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-  EXPECT_NE(content.find("<svg"), std::string::npos);
-  EXPECT_NE(content.find("<rect"), std::string::npos);
   std::remove(path.c_str());
+  return content;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Svg, LayerElementCountsMatchDesign) {
+  const dpgen::Benchmark bench = dpgen::make_benchmark("dp_add32");
+  const std::string path = ::testing::TempDir() + "svg_layers.svg";
+  write_svg(path, bench.netlist, bench.design, bench.placement,
+            &bench.truth);
+  const std::string content = read_and_remove(path);
+
+  EXPECT_EQ(count_occurrences(content, "class='core'"), 1u);
+  EXPECT_EQ(count_occurrences(content, "class='heat'"), 0u)
+      << "no heatmap requested";
+  // One rect per movable cell; datapath members carry the extra class.
+  std::size_t movable = 0, datapath = 0;
+  std::vector<bool> in_group(bench.netlist.num_cells(), false);
+  for (const auto& g : bench.truth.groups) {
+    for (netlist::CellId c : g.cells) {
+      if (c != netlist::kInvalidId) in_group[c] = true;
+    }
+  }
+  for (netlist::CellId c = 0; c < bench.netlist.num_cells(); ++c) {
+    if (bench.netlist.cell(c).fixed) continue;
+    ++movable;
+    if (in_group[c]) ++datapath;
+  }
+  EXPECT_EQ(count_occurrences(content, "class='cell"), movable);
+  EXPECT_EQ(count_occurrences(content, "class='cell dp'"), datapath);
+  EXPECT_GT(datapath, 0u);
+}
+
+TEST(Svg, HeatmapLayerTogglesOneRectPerBin) {
+  const dpgen::Benchmark bench = dpgen::make_benchmark("dp_add32");
+  const std::string path = ::testing::TempDir() + "svg_heat.svg";
+  SvgOptions options;
+  options.heatmap_bins = 4;
+  options.heatmap.assign(16, 0.5);
+  options.heatmap[5] = 2.0;  // a hotspot renders like any other bin
+  write_svg(path, bench.netlist, bench.design, bench.placement, options);
+  const std::string content = read_and_remove(path);
+  EXPECT_EQ(count_occurrences(content, "class='heat'"), 16u);
+  EXPECT_EQ(count_occurrences(content, "class='core'"), 1u);
+
+  // Undersized heatmap data: the layer is skipped rather than read out
+  // of bounds.
+  options.heatmap.resize(15);
+  write_svg(path, bench.netlist, bench.design, bench.placement, options);
+  EXPECT_EQ(count_occurrences(read_and_remove(path), "class='heat'"), 0u);
 }
 
 }  // namespace

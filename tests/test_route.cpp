@@ -1,0 +1,254 @@
+// route::CongestionMap (RUDY + pin density) and the cell-inflation
+// feedback: hand-computed rasterization, demand conservation, bitwise
+// determinism across thread counts (same discipline as the GP kernels),
+// report metric sanity, and inflation eligibility/clamping.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "core/structure_placer.hpp"
+#include "dpgen/benchmarks.hpp"
+#include "route/congestion.hpp"
+#include "route/inflation.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dp::route {
+namespace {
+
+using netlist::CellFunc;
+using netlist::CellId;
+using netlist::NetId;
+using netlist::NetlistBuilder;
+using netlist::Placement;
+
+double sum(std::span<const double> v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+/// Two inverters on one weighted net inside a 10x10 core.
+struct TwoCellFixture {
+  explicit TwoCellFixture(double weight = 1.0)
+      : builder(netlist::standard_library()) {
+    a = builder.add_cell("a", CellFunc::kInv);
+    b = builder.add_cell("b", CellFunc::kInv);
+    const NetId n = builder.add_net("n", weight);
+    builder.connect(a, "Y", n);
+    builder.connect(b, "A", n);
+    nl.emplace(builder.take());
+    design.emplace(geom::Rect{0, 0, 10, 10}, 1.0, 0.25);
+  }
+
+  geom::Rect pin_box(const Placement& pl) const {
+    geom::Rect box;
+    for (netlist::PinId p = 0; p < nl->num_pins(); ++p) {
+      box.expand(nl->pin_position(p, pl));
+    }
+    return box;
+  }
+
+  NetlistBuilder builder;
+  CellId a, b;
+  std::optional<netlist::Netlist> nl;
+  std::optional<netlist::Design> design;
+};
+
+TEST(CongestionMap, TotalDemandConservedInsideCore) {
+  TwoCellFixture f(2.0);
+  Placement pl(2);
+  pl[f.a] = {2.0, 3.0};
+  pl[f.b] = {7.0, 6.0};  // bbox well inside the core: nothing clips away
+  CongestionMap map(*f.nl, *f.design, {});
+  map.build(pl);
+
+  const geom::Rect box = f.pin_box(pl);
+  const CongestionOptions opt;  // defaults used above
+  const double surcharge =
+      static_cast<double>(f.nl->num_pins()) * opt.pin_weight / 2.0;
+  EXPECT_NEAR(sum(map.demand_h()), 2.0 * box.width() + surcharge, 1e-9);
+  EXPECT_NEAR(sum(map.demand_v()), 2.0 * box.height() + surcharge, 1e-9);
+  EXPECT_DOUBLE_EQ(sum(map.pin_density()),
+                   static_cast<double>(f.nl->num_pins()));
+}
+
+TEST(CongestionMap, HandComputedCornerToCornerSplit) {
+  // Pins far outside the core: the expanded bbox clips to exactly the
+  // core, so on a 2x2 grid every bin receives wire/4, and each corner
+  // bin additionally gets one pin's surcharge.
+  TwoCellFixture f;
+  Placement pl(2);
+  pl[f.a] = {-100.0, -100.0};
+  pl[f.b] = {100.0, 100.0};
+  CongestionOptions opt;
+  opt.bins_per_side = 2;
+  CongestionMap map(*f.nl, *f.design, opt);
+  map.build(pl);
+
+  const geom::Rect box = f.pin_box(pl);
+  const double wire_x = box.width();  // weight 1
+  const double half_pin = opt.pin_weight / 2.0;
+  const auto d = map.demand_h();
+  // Row-major: (0,0), (1,0), (0,1), (1,1). One pin lands in bin (0,0),
+  // the other in (1,1); the off-diagonal bins are pure RUDY quarters.
+  EXPECT_DOUBLE_EQ(d[1], wire_x / 4.0);
+  EXPECT_DOUBLE_EQ(d[2], wire_x / 4.0);
+  EXPECT_DOUBLE_EQ(d[0], wire_x / 4.0 + half_pin);
+  EXPECT_DOUBLE_EQ(d[3], wire_x / 4.0 + half_pin);
+  EXPECT_DOUBLE_EQ(map.pin_density()[0], 1.0);
+  EXPECT_DOUBLE_EQ(map.pin_density()[3], 1.0);
+}
+
+TEST(CongestionMap, SinglePinNetContributesOnlySurcharge) {
+  NetlistBuilder b(netlist::standard_library());
+  const CellId c = b.add_cell("c", CellFunc::kInv);
+  const NetId n = b.add_net("n");
+  b.connect(c, "Y", n);
+  const auto nl = b.take();
+  const netlist::Design design(geom::Rect{0, 0, 10, 10}, 1.0, 0.25);
+  Placement pl(1);
+  pl[c] = {5.0, 5.0};
+  CongestionOptions opt;
+  opt.pin_weight = 1.0;
+  CongestionMap map(nl, design, opt);
+  map.build(pl);
+  EXPECT_NEAR(sum(map.demand_h()), 0.5, 1e-12);  // pin_weight / 2
+  EXPECT_NEAR(sum(map.demand_v()), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(sum(map.pin_density()), 1.0);
+}
+
+TEST(CongestionMap, RebuildOverwritesPreviousGrids) {
+  TwoCellFixture f;
+  Placement pl(2);
+  pl[f.a] = {2.0, 2.0};
+  pl[f.b] = {8.0, 8.0};
+  CongestionMap map(*f.nl, *f.design, {});
+  map.build(pl);
+  const double first = sum(map.demand_h());
+  map.build(pl);  // identical placement: grids must not accumulate
+  EXPECT_DOUBLE_EQ(sum(map.demand_h()), first);
+}
+
+TEST(CongestionMap, BitwiseDeterministicAcrossThreadCounts) {
+  const dpgen::Benchmark bench = dpgen::make_benchmark("mix50");
+  auto grids = [&](std::size_t threads) {
+    CongestionMap map(bench.netlist, bench.design, {});
+    if (threads > 0) {
+      map.set_thread_pool(std::make_shared<util::ThreadPool>(threads));
+    }
+    map.build(bench.placement);
+    struct G {
+      std::vector<double> h, v, p;
+    } g;
+    g.h.assign(map.demand_h().begin(), map.demand_h().end());
+    g.v.assign(map.demand_v().begin(), map.demand_v().end());
+    g.p.assign(map.pin_density().begin(), map.pin_density().end());
+    return g;
+  };
+  const auto serial = grids(0);  // no pool at all
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{7}}) {
+    const auto par = grids(threads);
+    ASSERT_EQ(serial.h.size(), par.h.size());
+    for (std::size_t i = 0; i < serial.h.size(); ++i) {
+      ASSERT_EQ(serial.h[i], par.h[i]) << "demand_h[" << i << "] threads="
+                                       << threads;
+      ASSERT_EQ(serial.v[i], par.v[i]) << "demand_v[" << i << "] threads="
+                                       << threads;
+      ASSERT_EQ(serial.p[i], par.p[i]) << "pins[" << i << "] threads="
+                                       << threads;
+    }
+  }
+}
+
+TEST(CongestionReport, MetricsAreOrderedAndBounded) {
+  const dpgen::Benchmark bench = dpgen::make_benchmark("dp_alu32");
+  CongestionMap map(bench.netlist, bench.design, {});
+  map.build(bench.placement);
+  const CongestionReport rep = map.report();
+  EXPECT_EQ(rep.bins, map.bins_per_side());
+  EXPECT_DOUBLE_EQ(rep.peak, std::max(rep.peak_h, rep.peak_v));
+  // Worst-0.5% mean dominates the wider percentiles; the peak bounds all.
+  EXPECT_GE(rep.peak + 1e-12, rep.ace_0_5);
+  EXPECT_GE(rep.ace_0_5 + 1e-12, rep.ace_1);
+  EXPECT_GE(rep.ace_1 + 1e-12, rep.ace_2);
+  EXPECT_GE(rep.ace_2 + 1e-12, rep.ace_5);
+  EXPECT_GE(rep.ace_5, 0.0);
+  EXPECT_GE(rep.overflow_frac, 0.0);
+  EXPECT_LE(rep.overflow_frac, 1.0);
+  EXPECT_EQ(rep.overflowed(), rep.overflowed_bins > 0);
+  // ratios() is the report's per-bin view: its max is the peak.
+  double max_ratio = 0.0;
+  for (const double r : map.ratios()) max_ratio = std::max(max_ratio, r);
+  EXPECT_DOUBLE_EQ(max_ratio, rep.peak);
+}
+
+TEST(Inflation, ScalesOnlyEligibleCellsInOverflowedBins) {
+  const dpgen::Benchmark bench = dpgen::make_benchmark("dp_add32");
+  CongestionMap map(bench.netlist, bench.design, {});
+  map.build(bench.placement);
+  const double peak = map.report().peak;
+  ASSERT_GT(peak, 0.0);
+
+  const std::size_t n = bench.netlist.num_cells();
+  const std::vector<double> base(n, 1.0);
+  std::vector<bool> eligible(n, true);
+  for (CellId c = 0; c < n; c += 2) eligible[c] = false;
+
+  InflationOptions opt;
+  opt.threshold = peak / 2.0;  // guarantee some bins count as overflowed
+  opt.rate = 1.0;
+  opt.max_scale = 1.5;
+  std::vector<double> scale = base;
+  const std::size_t grown = inflate_cells(bench.netlist, map,
+                                          bench.placement, opt, base,
+                                          eligible, scale);
+  EXPECT_GT(grown, 0u);
+  std::size_t above = 0;
+  for (CellId c = 0; c < n; ++c) {
+    if (!eligible[c]) {
+      EXPECT_DOUBLE_EQ(scale[c], base[c]) << "ineligible cell " << c;
+      continue;
+    }
+    EXPECT_GE(scale[c], base[c]);
+    EXPECT_LE(scale[c], base[c] * opt.max_scale + 1e-12);
+    if (scale[c] > base[c]) ++above;
+  }
+  EXPECT_EQ(above, grown);
+
+  // Threshold above the peak: nothing is overflowed, nothing inflates.
+  opt.threshold = peak + 1.0;
+  std::vector<double> unchanged = base;
+  EXPECT_EQ(inflate_cells(bench.netlist, map, bench.placement, opt, base,
+                          eligible, unchanged),
+            0u);
+  EXPECT_EQ(unchanged, base);
+}
+
+TEST(Refinement, PlacerMeasuresAndRefinesDeterministically) {
+  auto run = [&](std::size_t threads) {
+    dpgen::Benchmark bench = dpgen::make_benchmark("dp_add32");
+    core::PlacerConfig c;
+    c.structure_aware = false;
+    c.num_threads = threads;
+    c.congestion.refine = true;
+    c.congestion.max_iters = 1;
+    Placement pl = bench.placement;
+    core::StructurePlacer placer(bench.netlist, bench.design, c);
+    return placer.place(pl, nullptr);
+  };
+  const core::PlaceReport r1 = run(1);
+  ASSERT_TRUE(r1.congestion_measured);
+  EXPECT_GT(r1.congestion_gp.peak, 0.0);
+  EXPECT_GT(r1.congestion.peak, 0.0);
+  EXPECT_TRUE(r1.legality.legal());
+
+  const core::PlaceReport r4 = run(4);
+  EXPECT_EQ(r1.hpwl_final, r4.hpwl_final);
+  EXPECT_EQ(r1.congestion.peak, r4.congestion.peak);
+  EXPECT_EQ(r1.congestion_gp.peak, r4.congestion_gp.peak);
+  EXPECT_EQ(r1.congestion_refine_iters, r4.congestion_refine_iters);
+  EXPECT_EQ(r1.congestion_inflated_cells, r4.congestion_inflated_cells);
+}
+
+}  // namespace
+}  // namespace dp::route
