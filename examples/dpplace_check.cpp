@@ -8,7 +8,7 @@
 //   dpplace_check --bench dp_alu32 [options]
 // Options:
 //   --level cheap|full    rule depth (default full)
-//   --categories LIST     comma list of netlist,geom,legal,structure
+//   --categories LIST     comma list of netlist,geom,legal,structure,timing
 //                         (default: all for --aux; netlist,structure for
 //                         --bench, whose initial placement is deliberately
 //                         unplaced and would fail legality)
@@ -50,6 +50,7 @@ unsigned parse_categories(const std::string& list, bool* ok) {
     else if (tok == "geom") mask |= dp::check::kCatGeometry;
     else if (tok == "legal") mask |= dp::check::kCatLegality;
     else if (tok == "structure") mask |= dp::check::kCatStructure;
+    else if (tok == "timing") mask |= dp::check::kCatTiming;
     else if (!tok.empty()) *ok = false;
     if (comma == std::string::npos) break;
     pos = comma + 1;
@@ -111,7 +112,8 @@ int main(int argc, char** argv) {
     if (!bench_name.empty()) {
       generated.emplace(dpgen::make_benchmark(bench_name));
       if (categories == 0) {
-        categories = check::kCatNetlist | check::kCatStructure;
+        categories =
+            check::kCatNetlist | check::kCatStructure | check::kCatTiming;
       }
     } else {
       loaded.emplace(netlist::read_bookshelf(aux_path));

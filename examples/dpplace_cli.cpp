@@ -25,6 +25,16 @@
 //   --congestion-refine   post-GP cell-inflation refinement: inflate cells
 //                         in overflowed bins and re-spread (implies
 //                         --congestion)
+//   --timing              static timing analysis (unit gate delay + linear
+//                         wire delay) and timing-driven placement: critical
+//                         nets get heavier GP weights each outer iteration
+//                         and detailed placement rejects moves that worsen
+//                         the WNS proxy; adds report lines and, with --svg,
+//                         a critical-path overlay
+//   --timing-weight W     criticality weight strength (default 8; implies
+//                         --timing)
+//   --timing-period P     clock period constraint (default 0 = auto: the
+//                         longest path just meets timing; implies --timing)
 //   --report-json FILE    dump the PlaceReport as JSON for scripted
 //                         experiment harvesting
 //   --out PREFIX          write PREFIX.{aux,nodes,nets,pl,scl}
@@ -57,7 +67,8 @@ int usage(const char* argv0) {
                "usage: %s (--bench NAME | --aux FILE) [--baseline] "
                "[--blocks] [--weight W] [--threads N] [--swap-window N] "
                "[--paranoid] [--congestion] [--congestion-bins N] "
-               "[--congestion-refine] [--report-json FILE] [--out PREFIX] "
+               "[--congestion-refine] [--timing] [--timing-weight W] "
+               "[--timing-period P] [--report-json FILE] [--out PREFIX] "
                "[--svg FILE] [--groups FILE]\n",
                argv0);
   return 2;
@@ -108,6 +119,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--congestion-refine") {
       config.congestion.measure = true;
       config.congestion.refine = true;
+    } else if (arg == "--timing") {
+      config.timing.measure = true;
+      config.timing.driven = true;
+    } else if (arg == "--timing-weight") {
+      config.timing.measure = true;
+      config.timing.driven = true;
+      if (const char* v = next()) config.timing.weight = std::atof(v);
+    } else if (arg == "--timing-period") {
+      config.timing.measure = true;
+      config.timing.driven = true;
+      if (const char* v = next()) {
+        config.timing.model.clock_period = std::atof(v);
+      }
     } else if (arg == "--report-json") {
       if (const char* v = next()) json_path = v;
     } else if (arg == "--out") {
@@ -178,6 +202,18 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  if (report.timing_measured) {
+    const auto& t = report.timing;
+    std::printf(
+        "timing: wns=%.2f tns=%.2f period=%.2f violations=%zu/%zu "
+        "(levels=%zu, path=%zu pins)\n",
+        t.wns, t.tns, t.clock_period, t.violations, t.endpoints, t.levels,
+        t.critical_path.size());
+    std::printf("timing gp -> final: max arrival %.2f -> %.2f "
+                "(%zu reweight(s))\n",
+                report.timing_gp.max_arrival, t.max_arrival,
+                report.timing_reweights);
+  }
 
   if (!out_prefix.empty()) {
     netlist::write_bookshelf(out_prefix, nl, design, pl);
@@ -193,6 +229,11 @@ int main(int argc, char** argv) {
       svg_options.heatmap_bins = cmap.bins_per_side();
       svg_options.heatmap = cmap.ratios();
     }
+    if (report.timing_measured) {
+      for (const auto& node : report.timing.critical_path) {
+        svg_options.critical_path.push_back(nl.pin_position(node.pin, pl));
+      }
+    }
     eval::write_svg(svg_path, nl, design, pl, svg_options);
     std::printf("wrote %s\n", svg_path.c_str());
   }
@@ -202,7 +243,7 @@ int main(int argc, char** argv) {
   }
   if (!json_path.empty()) {
     std::ofstream json_out(json_path);
-    json_out << core::report_to_json(report) << "\n";
+    json_out << core::report_to_json(report, &nl) << "\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
   return report.legality.legal() ? 0 : 1;

@@ -49,9 +49,32 @@ def load_times(path):
 
 
 def compare_pair(baseline, current, threshold, pattern):
-    """Print a comparison table; return the list of (name, ratio) regressions."""
-    base = load_times(baseline)
-    cur = load_times(current)
+    """Print a comparison table; return the list of (name, ratio) regressions.
+
+    A pair that cannot be compared -- a file that is missing or not valid
+    benchmark JSON, or two files with no benchmark name in common -- is
+    advisory: it prints a note and contributes no regressions, so a freshly
+    added kernel suite without a recorded baseline does not fail CI.
+    """
+    times = {}
+    for role, path in (("baseline", baseline), ("current", current)):
+        try:
+            times[role] = load_times(path)
+        except OSError as e:
+            print(f"advisory: cannot read {role} {path}: {e.strerror or e}"
+                  " -- skipping this pair (record a baseline to enable the"
+                  " comparison)")
+            return []
+        except (json.JSONDecodeError, KeyError, TypeError) as e:
+            print(f"advisory: {role} {path} is not benchmark JSON ({e})"
+                  " -- skipping this pair")
+            return []
+    base, cur = times["baseline"], times["current"]
+
+    if base and cur and not set(base) & set(cur):
+        print(f"advisory: {baseline} and {current} share no benchmark names"
+              " -- comparing different suites? skipping this pair")
+        return []
 
     names = sorted(set(base) | set(cur))
     if pattern:

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "eval/metrics.hpp"
+#include "timing/timing_graph.hpp"
 
 namespace dp::check {
 
@@ -402,6 +403,105 @@ void rule_structure_stage_types(const CheckContext& ctx,
   }
 }
 
+// ---- timing: graph topology -------------------------------------------------
+
+/// Building a TimingGraph dereferences pin->cell and cell->type links, so
+/// the timing rules must not run on a netlist whose references are broken
+/// (netlist.pin-refs / netlist.cell-types already report that).
+bool timing_prereqs_ok(const netlist::Netlist& nl) {
+  for (netlist::PinId p = 0; p < nl.num_pins(); ++p) {
+    if (nl.pin(p).cell >= nl.num_cells()) return false;
+  }
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(c).type >= nl.library().size()) return false;
+    for (const netlist::PinId p : nl.cell(c).pins) {
+      if (p >= nl.num_pins()) return false;
+    }
+  }
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    for (const netlist::PinId p : nl.net(n).pins) {
+      if (p >= nl.num_pins()) return false;
+    }
+  }
+  return true;
+}
+
+/// No combinational cycles: every pin must levelize. A cycle makes static
+/// timing (and most downstream analyses) undefined, so each offending pin
+/// is an error (capped; the count is always reported).
+void rule_timing_loops(const CheckContext& ctx, DiagnosticSink& sink) {
+  if (!timing_prereqs_ok(*ctx.netlist)) return;
+  const timing::TimingGraph graph(*ctx.netlist);
+  if (!graph.has_loops()) return;
+  constexpr std::size_t kMaxReported = 8;
+  const auto loops = graph.loop_pins();
+  for (std::size_t i = 0; i < loops.size() && i < kMaxReported; ++i) {
+    const PinId p = loops[i];
+    const netlist::Cell& cell = ctx.netlist->cell(ctx.netlist->pin(p).cell);
+    sink.report(Severity::kError, "timing.comb-loops", Anchor::pin(p),
+                "pin of cell '" + cell.name +
+                    "' is on or downstream of a combinational loop");
+  }
+  if (loops.size() > kMaxReported) {
+    sink.report(Severity::kError, "timing.comb-loops", Anchor::none(),
+                std::to_string(loops.size() - kMaxReported) +
+                    " further pin(s) on or downstream of combinational "
+                    "loops (reporting capped)");
+  }
+}
+
+/// Primary-output pads driven by combinational logic instead of a
+/// register or another pad. Legal (several dpgen benchmarks export
+/// combinational flag buses), but worth surfacing: these cones set the
+/// critical path without a pipeline stage to absorb it. One aggregated
+/// note, so strict lint runs stay green.
+void rule_timing_unregistered_outputs(const CheckContext& ctx,
+                                      DiagnosticSink& sink) {
+  const auto& nl = *ctx.netlist;
+  if (!timing_prereqs_ok(nl)) return;
+  const timing::TimingGraph graph(nl);
+
+  // Longest combinational depth (cell arcs only) per pin, swept in
+  // topological order.
+  std::vector<std::size_t> depth(nl.num_pins(), 0);
+  for (const PinId p : graph.order()) {
+    std::size_t d = 0;
+    for (std::size_t a = graph.fanin_first(p); a < graph.fanin_first(p + 1);
+         ++a) {
+      const std::size_t through =
+          depth[graph.arc_src()[a]] +
+          (graph.arc_kind()[a] == timing::ArcKind::kCell ? 1 : 0);
+      d = std::max(d, through);
+    }
+    depth[p] = d;
+  }
+
+  std::size_t unregistered = 0, max_depth = 0;
+  CellId example = kInvalidId;
+  for (const PinId p : graph.endpoints()) {
+    const CellId c = nl.pin(p).cell;
+    if (nl.cell_type(c).func != netlist::CellFunc::kPad) continue;
+    if (graph.level(p) == 0 && graph.fanin_first(p) != graph.fanin_first(p + 1)) {
+      continue;  // loop pin: depth unknown, rule_timing_loops reports it
+    }
+    if (depth[p] == 0) continue;  // driven by a register or another pad
+    ++unregistered;
+    if (depth[p] > max_depth) {
+      max_depth = depth[p];
+      example = c;
+    }
+  }
+  if (unregistered > 0) {
+    sink.report(Severity::kNote, "timing.unregistered-outputs",
+                Anchor::cell(example),
+                std::to_string(unregistered) +
+                    " primary-output pad(s) driven by combinational logic "
+                    "(deepest cone: " +
+                    std::to_string(max_depth) + " gate(s) at pad '" +
+                    nl.cell(example).name + "')");
+  }
+}
+
 // ---- catalog ----------------------------------------------------------------
 
 using RuleFn = void (*)(const CheckContext&, DiagnosticSink&);
@@ -459,6 +559,12 @@ constexpr Rule kRules[] = {
       "cells within one stage column share a cell type"},
      rule_structure_stage_types, /*placement=*/false, /*design=*/false,
      /*structure=*/true},
+    {{"timing.comb-loops", kCatTiming, true,
+      "the timing graph levelizes (no combinational cycles)"},
+     rule_timing_loops},
+    {{"timing.unregistered-outputs", kCatTiming, false,
+      "primary-output pads are driven by registers, not logic cones"},
+     rule_timing_unregistered_outputs},
 };
 
 }  // namespace

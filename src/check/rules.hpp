@@ -14,7 +14,8 @@ enum : unsigned {
   kCatGeometry = 1u << 1,   ///< coordinate sanity of a placement
   kCatLegality = 1u << 2,   ///< row/site alignment and overlap
   kCatStructure = 1u << 3,  ///< datapath-group well-formedness
-  kCatAll = (1u << 4) - 1,
+  kCatTiming = 1u << 4,     ///< timing-graph topology (loops, open cones)
+  kCatAll = (1u << 5) - 1,
 };
 
 /// How much checking the pipeline hooks do. kCheap runs the linear-time

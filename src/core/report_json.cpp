@@ -1,6 +1,7 @@
 #include "core/report_json.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 namespace dp::core {
@@ -17,6 +18,40 @@ void append_number(std::ostringstream& out, double v) {
   const auto old_precision = out.precision(17);
   out << v;
   out.precision(old_precision);
+}
+
+void append_timing(std::ostringstream& out, const timing::TimingReport& t,
+                   const netlist::Netlist* nl) {
+  out << "{\"wns\":";
+  append_number(out, t.wns);
+  out << ",\"tns\":";
+  append_number(out, t.tns);
+  out << ",\"clock_period\":";
+  append_number(out, t.clock_period);
+  out << ",\"max_arrival\":";
+  append_number(out, t.max_arrival);
+  out << ",\"endpoints\":" << t.endpoints
+      << ",\"violations\":" << t.violations << ",\"levels\":" << t.levels
+      << ",\"loop_pins\":" << t.loop_pins << ",\"critical_path\":[";
+  for (std::size_t i = 0; i < t.critical_path.size(); ++i) {
+    const timing::PathNode& node = t.critical_path[i];
+    if (i > 0) out << ",";
+    out << "{\"pin\":" << node.pin;
+    if (nl != nullptr && node.pin < nl->num_pins()) {
+      const netlist::Pin& pin = nl->pin(node.pin);
+      const netlist::CellType& type = nl->cell_type(pin.cell);
+      out << ",\"cell\":\"" << json_escape(nl->cell(pin.cell).name)
+          << "\",\"port\":\""
+          << (pin.port < type.pins.size()
+                  ? json_escape(type.pins[pin.port].name)
+                  : std::to_string(pin.port))
+          << "\"";
+    }
+    out << ",\"arrival\":";
+    append_number(out, node.arrival);
+    out << "}";
+  }
+  out << "]}";
 }
 
 void append_congestion(std::ostringstream& out,
@@ -44,9 +79,51 @@ void append_congestion(std::ostringstream& out,
 
 }  // namespace
 
-std::string report_to_json(const PlaceReport& report) {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string report_to_json(const PlaceReport& report,
+                           const netlist::Netlist* nl) {
   std::ostringstream out;
-  out << "{\"hpwl\":{\"gp\":";
+  out << "{\"schema_version\":" << kReportJsonSchemaVersion
+      << ",\"hpwl\":{\"gp\":";
   append_number(out, report.hpwl_gp);
   out << ",\"pre_refine\":";
   append_number(out, report.hpwl_pre_refine);
@@ -72,6 +149,8 @@ std::string report_to_json(const PlaceReport& report) {
   append_number(out, report.t_gp);
   out << ",\"congestion\":";
   append_number(out, report.t_congestion);
+  out << ",\"timing\":";
+  append_number(out, report.t_timing);
   out << ",\"legal\":";
   append_number(out, report.t_legal);
   out << ",\"detail\":";
@@ -106,6 +185,16 @@ std::string report_to_json(const PlaceReport& report) {
     append_congestion(out, report.congestion);
     out << ",\"refine_iters\":" << report.congestion_refine_iters
         << ",\"inflated_cells\":" << report.congestion_inflated_cells << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\"timing\":";
+  if (report.timing_measured) {
+    out << "{\"gp\":";
+    append_timing(out, report.timing_gp, nl);
+    out << ",\"final\":";
+    append_timing(out, report.timing, nl);
+    out << ",\"reweights\":" << report.timing_reweights << "}";
   } else {
     out << "null";
   }

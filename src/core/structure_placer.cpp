@@ -1,5 +1,7 @@
 #include "core/structure_placer.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "core/overlap.hpp"
@@ -27,6 +29,58 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
   // Every GpOptions copy taken below inherits the pipeline-level thread
   // count.
   config_.gp.num_threads = config_.num_threads;
+
+  // Timing graph + analyzer, shared by the GP feedback hook, the detail
+  // move guard, and the report measurements. The analyzer owns its own
+  // pool: the GP outer hook runs outside the placer's fork-join regions,
+  // so the two pools never nest.
+  std::unique_ptr<timing::TimingGraph> timing_graph;
+  std::unique_ptr<timing::TimingAnalyzer> timing_analyzer;
+  if (config_.timing.enabled()) {
+    util::Timer t;
+    timing_graph = std::make_unique<timing::TimingGraph>(*nl_);
+    timing_analyzer = std::make_unique<timing::TimingAnalyzer>(
+        *timing_graph, config_.timing.model);
+    timing_analyzer->set_thread_pool(
+        std::make_shared<util::ThreadPool>(config_.num_threads));
+    if (timing_graph->has_loops()) {
+      util::Logger::warn(
+          "timing: %zu pin(s) on or behind combinational loops excluded "
+          "from analysis",
+          timing_graph->loop_pins().size());
+    }
+    report.t_timing += t.seconds();
+  }
+  std::vector<double> timing_scale, timing_scale_ema;
+  auto install_timing_hook = [&](gp::GlobalPlacer& placer,
+                                 double strength_mult) {
+    if (!config_.timing.driven || timing_analyzer == nullptr) return;
+    placer.set_outer_hook([&, strength_mult](std::size_t outer,
+                                             const netlist::Placement& cur,
+                                             gp::SmoothWirelength& wl) {
+      (void)outer;
+      util::Timer t;
+      timing_analyzer->analyze(cur);
+      timing_analyzer->net_weight_scale(
+          config_.timing.weight * strength_mult, config_.timing.crit_floor,
+          timing_scale);
+      // Smooth across outer iterations: criticalities jump around while
+      // the placement is still fluid, and chasing each snapshot makes
+      // the objective non-stationary (costly in HPWL for little WNS).
+      constexpr double kBlend = 0.5;
+      if (timing_scale_ema.size() != timing_scale.size()) {
+        timing_scale_ema = timing_scale;
+      } else {
+        for (std::size_t n = 0; n < timing_scale.size(); ++n) {
+          timing_scale_ema[n] = (1.0 - kBlend) * timing_scale_ema[n] +
+                                kBlend * timing_scale[n];
+        }
+      }
+      wl.set_net_weight_scale(timing_scale_ema);
+      ++report.timing_reweights;
+      report.t_timing += t.seconds();
+    });
+  };
 
   // Phase hooks: after each phase, run the rule families that phase is
   // responsible for, so corruption is caught where it was introduced. The
@@ -70,7 +124,9 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
                        report.structure.total_cells());
   }
   report.t_extract = stage.seconds();
-  run_phase_checks("extract", check::kCatNetlist | check::kCatStructure,
+  run_phase_checks("extract",
+                   check::kCatNetlist | check::kCatStructure |
+                       check::kCatTiming,
                    1e-6);
   stage.restart();
 
@@ -82,6 +138,7 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
 
   if (!structured) {
     gp::GlobalPlacer placer(*nl_, *design_, config_.gp);
+    install_timing_hook(placer, 1.0);
     report.gp_result = placer.place(pl);
   } else {
     // Datapath cells are shrunk in the density model (they will legally
@@ -103,6 +160,7 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
                                    config_.alignment_activation_overflow);
     gp::GlobalPlacer phase_a(*nl_, *design_, opt_a);
     phase_a.set_density_area_scale(density_scale);
+    install_timing_hook(phase_a, 1.0);
     report.gp_result = phase_a.place(pl);
 
     // Phase B: alignment on from the start, weight normalized against the
@@ -116,8 +174,13 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
     opt_b.max_outer = config_.align_outer;
     opt_b.plateau_stall = 0;
     opt_b.gamma_init_bins = 3.0;
+    // Attenuated in phase B: the alignment/overlap schedules are
+    // normalized against the wirelength force once at the start, and
+    // strong reweighting under them makes the steering fight the plate
+    // arrays (consistent HPWL blowups on the datapath-heavy designs).
     gp::GlobalPlacer phase_b(*nl_, *design_, opt_b);
     phase_b.set_density_area_scale(density_scale);
+    install_timing_hook(phase_b, 0.3);
 
     // Both structure terms use the same schedule: normalized against the
     // wirelength force on first evaluation, then doubled per outer.
@@ -185,6 +248,18 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
         eval::alignment_score(*nl_, pl, report.structure).rms_misalignment;
   }
   report.t_gp = stage.seconds();
+  if (timing_analyzer != nullptr) {
+    util::Timer t;
+    report.timing_measured = true;
+    report.timing_gp = timing_analyzer->analyze(pl);
+    report.t_timing += t.seconds();
+    util::Logger::info(
+        "timing (gp): wns=%.2f tns=%.2f period=%.2f crit_delay=%.2f "
+        "endpoints=%zu",
+        report.timing_gp.wns, report.timing_gp.tns,
+        report.timing_gp.clock_period, report.timing_gp.max_arrival,
+        report.timing_gp.endpoints);
+  }
   // Cells are not yet snapped to rows and the optimizer clamps centers
   // (not edges) to the core, so tolerate up to the widest movable cell's
   // half-extent of overhang until legalization pulls everything in.
@@ -480,6 +555,76 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
   stage.restart();
 
   // ---- phase 4: detailed placement -----------------------------------------
+  // Timing-driven: analyze the legalized placement and veto detail moves
+  // whose weighted extra wire delay on critical nets exceeds the
+  // tolerance. Criticalities are frozen at the post-legal analysis (the
+  // detailer moves cells less than a row on average, so re-analysis per
+  // move would buy little for its cost).
+  detail::DetailOptions detail_opt = config_.detail;
+  if (config_.timing.driven && timing_analyzer != nullptr) {
+    util::Timer t;
+    timing_analyzer->analyze(pl);
+    report.t_timing += t.seconds();
+    const double crit_floor = config_.timing.crit_floor;
+    const double tolerance = config_.timing.guard_tolerance;
+    const double per_unit = config_.timing.model.wire_delay_per_unit;
+    detail_opt.move_guard =
+        [this, &pl, analyzer = timing_analyzer.get(), crit_floor, tolerance,
+         per_unit](std::span<const netlist::CellId> cells,
+                   std::span<const geom::Point> centers) {
+          const std::span<const double> crit = analyzer->net_criticality();
+          auto moved_index = [&](netlist::CellId c) -> std::ptrdiff_t {
+            for (std::size_t k = 0; k < cells.size(); ++k) {
+              if (cells[k] == c) return static_cast<std::ptrdiff_t>(k);
+            }
+            return -1;
+          };
+          // Weighted wire-delay delta over the critical nets incident to
+          // the moved cells (each net scored once).
+          double delta = 0.0;
+          std::vector<netlist::NetId> seen;
+          for (const netlist::CellId c : cells) {
+            for (const netlist::PinId p : nl_->cell(c).pins) {
+              const netlist::NetId n = nl_->pin(p).net;
+              if (n == netlist::kInvalidId || crit[n] < crit_floor) continue;
+              if (std::find(seen.begin(), seen.end(), n) != seen.end()) {
+                continue;
+              }
+              seen.push_back(n);
+              const auto& net_pins = nl_->net(n).pins;
+              if (net_pins.size() < 2) continue;
+              const double inf = std::numeric_limits<double>::infinity();
+              double olx = inf, ohx = -inf, oly = inf, ohy = -inf;
+              double nlx = inf, nhx = -inf, nly = inf, nhy = -inf;
+              for (const netlist::PinId q : net_pins) {
+                const auto& pin = nl_->pin(q);
+                const geom::Point old{pl[pin.cell].x + pin.offset_x,
+                                      pl[pin.cell].y + pin.offset_y};
+                olx = std::min(olx, old.x);
+                ohx = std::max(ohx, old.x);
+                oly = std::min(oly, old.y);
+                ohy = std::max(ohy, old.y);
+                geom::Point cand = old;
+                const std::ptrdiff_t k = moved_index(pin.cell);
+                if (k >= 0) {
+                  cand = {centers[static_cast<std::size_t>(k)].x +
+                              pin.offset_x,
+                          centers[static_cast<std::size_t>(k)].y +
+                              pin.offset_y};
+                }
+                nlx = std::min(nlx, cand.x);
+                nhx = std::max(nhx, cand.x);
+                nly = std::min(nly, cand.y);
+                nhy = std::max(nhy, cand.y);
+              }
+              const double d_hpwl =
+                  ((nhx - nlx) + (nhy - nly)) - ((ohx - olx) + (ohy - oly));
+              delta += crit[n] * per_unit * d_hpwl;
+            }
+          }
+          return delta <= tolerance + 1e-12;
+        };
+  }
   detail::DetailedPlacer detailer(*nl_, *design_);
   if (config_.structure_aware && alignment != nullptr) {
     std::vector<bool> along_y(report.structure.groups.size());
@@ -488,9 +633,9 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
           alignment->orientation(g) == GroupOrientation::kBitsAlongY;
     }
     report.detail_stats = detailer.run_structured(pl, report.structure,
-                                                  along_y, config_.detail);
+                                                  along_y, detail_opt);
   } else {
-    report.detail_stats = detailer.run(pl, config_.detail);
+    report.detail_stats = detailer.run(pl, detail_opt);
   }
   report.t_detail = stage.seconds();
   run_phase_checks("detail", check::kCatGeometry | check::kCatLegality, 1e-6);
@@ -498,6 +643,17 @@ PlaceReport StructurePlacer::place(netlist::Placement& pl,
   // ---- reporting -------------------------------------------------------------
   report.hpwl_final = eval::hpwl(*nl_, pl);
   report.legality = eval::check_legality(*nl_, *design_, pl);
+  if (timing_analyzer != nullptr) {
+    util::Timer t;
+    report.timing = timing_analyzer->analyze(pl);
+    report.t_timing += t.seconds();
+    util::Logger::info(
+        "timing (final): wns=%.2f tns=%.2f period=%.2f crit_delay=%.2f "
+        "violations=%zu/%zu",
+        report.timing.wns, report.timing.tns, report.timing.clock_period,
+        report.timing.max_arrival, report.timing.violations,
+        report.timing.endpoints);
+  }
   if (config_.congestion.enabled()) {
     route::CongestionMap cmap(*nl_, *design_, config_.congestion.map);
     cmap.set_thread_pool(

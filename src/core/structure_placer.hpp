@@ -14,6 +14,7 @@
 #include "legal/structure_legal.hpp"
 #include "legal/tetris.hpp"
 #include "route/inflation.hpp"
+#include "timing/timing_analyzer.hpp"
 
 namespace dp::core {
 
@@ -100,6 +101,13 @@ struct PlacerConfig {
   /// only glue cells are inflated/re-spread -- datapath plates keep the
   /// alignment the GP phase bought.
   route::CongestionControl congestion;
+
+  /// Static timing analysis and the timing-driven feedback loop (see
+  /// timing::TimingControl). Off by default; with `measure` set,
+  /// PlaceReport::timing_gp / timing are filled; with `driven` set, net
+  /// criticality re-weights the smooth wirelength each GP outer iteration
+  /// and a WNS-proxy guard filters detailed-placement moves.
+  timing::TimingControl timing;
 };
 
 /// Invariant-check outcome of one pipeline phase hook.
@@ -126,6 +134,7 @@ struct PlaceReport {
   double t_congestion = 0.0;  ///< estimation + refinement (0 when off)
   double t_legal = 0.0;
   double t_detail = 0.0;
+  double t_timing = 0.0;  ///< all timing analyses (0 when off)
   double t_total = 0.0;
 
   gp::GpResult gp_result;
@@ -156,6 +165,15 @@ struct PlaceReport {
   /// GP-stage HPWL before the refinement loop touched the placement
   /// (== hpwl_gp when refinement is off or never triggered).
   double hpwl_pre_refine = 0.0;
+
+  /// Static timing (filled when PlacerConfig::timing is enabled): after
+  /// global placement and on the final detailed placement.
+  bool timing_measured = false;
+  timing::TimingReport timing_gp;
+  timing::TimingReport timing;
+  /// Criticality reweights applied across all GP outer iterations
+  /// (timing-driven mode only).
+  std::size_t timing_reweights = 0;
 
   /// Phase-hook check results, in pipeline order (empty when
   /// PlacerConfig::check_level == kOff).

@@ -208,6 +208,11 @@ class Engine {
     ++prof.candidates;
     const auto t = inc_.trial_shift(moved_cells, dx, 0.0);
     if (t.after + 1e-12 < t.before) {
+      if (!guard_allows_shift(moved_cells, dx)) {
+        inc_.rollback();
+        ++profile_.guard_vetoes;
+        return false;
+      }
       inc_.commit();
       e.lx = new_lx;
       ++prof.accepted;
@@ -301,6 +306,10 @@ class Engine {
           pair[1] = b.cell;
           centers[0] = {best_a_lx + a.width / 2.0, (*pl_)[a.cell].y};
           centers[1] = {best_b_lx + b.width / 2.0, (*pl_)[b.cell].y};
+          if (options_->move_guard && !options_->move_guard(pair, centers)) {
+            ++profile_.guard_vetoes;
+            continue;
+          }
           inc_.trial_place(pair, centers);
           inc_.commit();
           a.lx = best_a_lx;
@@ -336,6 +345,17 @@ class Engine {
     return moves;
   }
 
+  /// Consult the move guard (when set) for a rigid +dx shift of `cells`;
+  /// the placement still holds the pre-move positions.
+  bool guard_allows_shift(const std::vector<CellId>& cells, double dx) {
+    if (!options_->move_guard) return true;
+    guard_centers_.resize(cells.size());
+    for (std::size_t k = 0; k < cells.size(); ++k) {
+      guard_centers_[k] = {(*pl_)[cells[k]].x + dx, (*pl_)[cells[k]].y};
+    }
+    return options_->move_guard(cells, guard_centers_);
+  }
+
   /// Paranoid cross-check: the maintained total must agree with a full
   /// recompute after every accepted move.
   void paranoid_check() {
@@ -360,6 +380,7 @@ class Engine {
   Profile profile_;
   std::vector<std::vector<Entry>> rows_;
   std::vector<double> breakpoints_;
+  std::vector<geom::Point> guard_centers_;
   std::vector<std::uint32_t> moving_epoch_;
   std::uint32_t moving_stamp_ = 0;
 };

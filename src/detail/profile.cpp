@@ -12,6 +12,7 @@ void Profile::merge(const Profile& other) {
   resyncs += other.resyncs;
   paranoid_checks += other.paranoid_checks;
   paranoid_failures += other.paranoid_failures;
+  guard_vetoes += other.guard_vetoes;
 }
 
 std::string Profile::to_string() const {
@@ -27,6 +28,10 @@ std::string Profile::to_string() const {
   std::snprintf(buf, sizeof buf, " | rescans %zu | resyncs %zu", rescans,
                 resyncs);
   out += buf;
+  if (guard_vetoes > 0) {
+    std::snprintf(buf, sizeof buf, " | guard vetoes %zu", guard_vetoes);
+    out += buf;
+  }
   if (paranoid_checks > 0) {
     std::snprintf(buf, sizeof buf, " | paranoid %zu/%zu ok",
                   paranoid_checks - paranoid_failures, paranoid_checks);

@@ -40,6 +40,9 @@ struct Profile {
   /// inconsistency and are also logged).
   std::size_t paranoid_checks = 0;
   std::size_t paranoid_failures = 0;
+  /// HPWL-improving moves rejected by DetailOptions::move_guard (e.g. the
+  /// timing-driven WNS-proxy guard).
+  std::size_t guard_vetoes = 0;
 
   void merge(const Profile& other);
 

@@ -92,6 +92,25 @@ void write_svg(const std::string& path, const netlist::Netlist& nl,
         << "' height='" << h << "' fill='" << fill
         << "' fill-opacity='0.8' stroke='black' stroke-width='0.3'/>\n";
   }
+
+  // Critical-path layer: one polyline over the cells, pin to pin, with
+  // dots at the endpoints so short paths stay visible.
+  if (options.critical_path.size() >= 2) {
+    out << "<polyline class='critpath' points='";
+    for (std::size_t i = 0; i < options.critical_path.size(); ++i) {
+      const geom::Point& p = options.critical_path[i];
+      if (i > 0) out << " ";
+      out << X(p.x) << "," << Y(p.y);
+    }
+    out << "' fill='none' stroke='#d40000' stroke-width='2' "
+           "stroke-opacity='0.85'/>\n";
+    const geom::Point& a = options.critical_path.front();
+    const geom::Point& b = options.critical_path.back();
+    out << "<circle class='critpath' cx='" << X(a.x) << "' cy='" << Y(a.y)
+        << "' r='4' fill='#d40000'/>\n";
+    out << "<circle class='critpath' cx='" << X(b.x) << "' cy='" << Y(b.y)
+        << "' r='4' fill='#d40000'/>\n";
+  }
   out << "</svg>\n";
 }
 

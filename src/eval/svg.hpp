@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "geom/point.hpp"
 #include "netlist/design.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/structure.hpp"
@@ -20,12 +21,17 @@ struct SvgOptions {
   /// 0 bins = no heatmap layer.
   std::size_t heatmap_bins = 0;
   std::vector<double> heatmap;
+  /// Timing critical-path overlay: pin positions along the worst path
+  /// (startpoint first), rendered as one polyline above the cells. Fewer
+  /// than 2 points = no layer.
+  std::vector<geom::Point> critical_path;
 };
 
 /// Writes an SVG rendering of a placement: core outline (class 'core'),
 /// optional congestion heatmap bins (class 'heat'), movable cells (class
-/// 'cell', or 'cell dp' with a per-group color for datapath cells).
-/// Debugging and documentation aid.
+/// 'cell', or 'cell dp' with a per-group color for datapath cells), and
+/// an optional critical-path polyline (class 'critpath'). Debugging and
+/// documentation aid.
 void write_svg(const std::string& path, const netlist::Netlist& nl,
                const netlist::Design& design, const netlist::Placement& pl,
                const SvgOptions& options);

@@ -204,6 +204,7 @@ GpResult GlobalPlacer::place(netlist::Placement& pl) {
   std::size_t stall = 0;
 
   for (std::size_t outer = 0; outer < options_.max_outer; ++outer) {
+    if (outer_hook_) outer_hook_(outer, pl, *wirelength_);
     const double frac =
         options_.max_outer > 1
             ? static_cast<double>(outer) /

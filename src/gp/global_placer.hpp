@@ -107,6 +107,17 @@ class GlobalPlacer {
   /// Register an extra objective term; must outlive place().
   void add_term(ExtraTerm term) { extras_.push_back(std::move(term)); }
 
+  /// Install a callback invoked at the start of every outer iteration
+  /// with the current placement and the wirelength term. Timing-driven
+  /// placement uses it to re-derive criticality-based net weight scales
+  /// (SmoothWirelength::set_net_weight_scale) between iterations.
+  void set_outer_hook(
+      std::function<void(std::size_t, const netlist::Placement&,
+                         SmoothWirelength&)>
+          hook) {
+    outer_hook_ = std::move(hook);
+  }
+
   /// Forward a per-cell density area scale (see DensityPenalty).
   void set_density_area_scale(std::vector<double> scale) {
     density_->set_area_scale(std::move(scale));
@@ -119,6 +130,7 @@ class GlobalPlacer {
 
   const VarMap& vars() const { return vars_; }
   const DensityPenalty& density() const { return *density_; }
+  const GpOptions& options() const { return options_; }
 
   /// Run global placement; `pl` provides fixed-cell positions and the
   /// movable starting point, and receives the result.
@@ -133,6 +145,9 @@ class GlobalPlacer {
   std::unique_ptr<SmoothWirelength> wirelength_;
   std::unique_ptr<DensityPenalty> density_;
   std::vector<ExtraTerm> extras_;
+  std::function<void(std::size_t, const netlist::Placement&,
+                     SmoothWirelength&)>
+      outer_hook_;
 };
 
 }  // namespace dp::gp

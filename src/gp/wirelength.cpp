@@ -85,6 +85,7 @@ SmoothWirelength::SmoothWirelength(const netlist::Netlist& nl,
     const auto& pins = nl.net(n).pins;
     if (pins.size() < 2) continue;
     net_weight_.push_back(nl.net(n).weight);
+    net_id_.push_back(n);
     for (const PinId p : pins) {
       const auto& pin = nl.pin(p);
       pin_cell_.push_back(pin.cell);
@@ -108,6 +109,13 @@ SmoothWirelength::SmoothWirelength(const netlist::Netlist& nl,
     }
   }
   chunk_first_.push_back(static_cast<std::uint32_t>(kept_nets));
+}
+
+void SmoothWirelength::set_net_weight_scale(std::span<const double> scale) {
+  for (std::size_t kn = 0; kn < net_id_.size(); ++kn) {
+    const double base = nl_->net(net_id_[kn]).weight;
+    net_weight_[kn] = scale.empty() ? base : base * scale[net_id_[kn]];
+  }
 }
 
 double SmoothWirelength::kernel(const netlist::Placement& pl,

@@ -54,6 +54,13 @@ class SmoothWirelength final : public ObjectiveTerm {
   /// Shares the chunked CSR kernel with eval() in null-gradient mode.
   double value(const netlist::Placement& pl) const;
 
+  /// Rescale the effective weight of every net: the kernel uses
+  /// `netlist_weight(n) * scale[n]` (scale is indexed by NetId, so it
+  /// covers dropped < 2-pin nets too). An empty span resets to the plain
+  /// netlist weights. Timing-driven placement re-derives the scale from
+  /// net criticality each outer iteration.
+  void set_net_weight_scale(std::span<const double> scale);
+
  private:
   /// Evaluates all chunks; fills gpin_x_/gpin_y_ when `with_grad`.
   double kernel(const netlist::Placement& pl, bool with_grad) const;
@@ -68,6 +75,7 @@ class SmoothWirelength final : public ObjectiveTerm {
   // Flattened CSR topology over nets with >= 2 pins (built once).
   std::vector<std::uint32_t> net_first_;  ///< kept-net -> first pin slot
   std::vector<double> net_weight_;
+  std::vector<netlist::NetId> net_id_;    ///< kept-net -> NetId
   std::vector<std::uint32_t> pin_cell_;
   std::vector<double> pin_dx_, pin_dy_;   ///< pin offsets from cell center
   std::vector<std::uint32_t> chunk_first_;  ///< fixed chunk bounds (nets)

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "core/report_json.hpp"
 #include "dpgen/benchmarks.hpp"
 #include "eval/metrics.hpp"
 #include "eval/svg.hpp"
@@ -221,6 +222,57 @@ TEST(Svg, HeatmapLayerTogglesOneRectPerBin) {
   options.heatmap.resize(15);
   write_svg(path, bench.netlist, bench.design, bench.placement, options);
   EXPECT_EQ(count_occurrences(read_and_remove(path), "class='heat'"), 0u);
+}
+
+TEST(Svg, CriticalPathLayerTogglesOnPoints) {
+  const dpgen::Benchmark bench = dpgen::make_benchmark("dp_add32");
+  const std::string path = ::testing::TempDir() + "svg_critpath.svg";
+  SvgOptions options;
+  options.critical_path = {{1.0, 1.0}, {5.0, 2.0}, {9.0, 3.0}};
+  write_svg(path, bench.netlist, bench.design, bench.placement, options);
+  const std::string content = read_and_remove(path);
+  // One polyline plus two endpoint markers.
+  EXPECT_EQ(count_occurrences(content, "class='critpath'"), 3u);
+  EXPECT_EQ(count_occurrences(content, "<polyline"), 1u);
+
+  // A single point is not a path; the layer stays off.
+  options.critical_path.resize(1);
+  write_svg(path, bench.netlist, bench.design, bench.placement, options);
+  EXPECT_EQ(count_occurrences(read_and_remove(path), "class='critpath'"),
+            0u);
+}
+
+TEST(ReportJson, SchemaVersionLeadsAndEscapesHold) {
+  // json_escape must neutralize everything JSON forbids in a string.
+  EXPECT_EQ(core::json_escape("plain"), "plain");
+  EXPECT_EQ(core::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(core::json_escape("l1\nl2\tt\rr"), "l1\\nl2\\tt\\rr");
+  EXPECT_EQ(core::json_escape(std::string("x\x01y\x1f", 4)),
+            "x\\u0001y\\u001f");
+  EXPECT_EQ(core::json_escape("\b\f"), "\\b\\f");
+
+  core::PlaceReport report;
+  const std::string json = core::report_to_json(report);
+  EXPECT_EQ(json.rfind("{\"schema_version\":1,", 0), 0u)
+      << "schema_version must be the first key: " << json;
+  EXPECT_NE(json.find("\"timing\":null"), std::string::npos)
+      << "timing not measured -> null section";
+}
+
+TEST(ReportJson, TimingSectionCarriesCriticalPathNames) {
+  const dpgen::Benchmark bench = dpgen::make_benchmark("dp_add32");
+  core::PlaceReport report;
+  report.timing_measured = true;
+  report.timing.wns = -0.5;
+  report.timing.critical_path = {{0, 0.0}, {1, 1.5}};
+  const std::string json = core::report_to_json(report, &bench.netlist);
+  EXPECT_NE(json.find("\"wns\":-0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"cell\":"), std::string::npos);
+  EXPECT_NE(json.find("\"port\":"), std::string::npos);
+  // Without a netlist the trace still serializes, ids only.
+  const std::string bare = core::report_to_json(report);
+  EXPECT_NE(bare.find("\"critical_path\":[{\"pin\":0"), std::string::npos);
+  EXPECT_EQ(bare.find("\"cell\":"), std::string::npos);
 }
 
 }  // namespace

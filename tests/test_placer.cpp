@@ -107,6 +107,39 @@ TEST(StructurePlacer, AlignmentWeightZeroStillLegal) {
   EXPECT_TRUE(rep.legality.legal());
 }
 
+TEST(StructurePlacer, TimingMeasureOnlyReportsWithoutSteering) {
+  Pipe pipe("dp_add32");
+  PlacerConfig c;
+  c.timing.measure = true;
+  const PlaceReport rep = pipe.run(c);
+  EXPECT_TRUE(rep.timing_measured);
+  EXPECT_GT(rep.timing.endpoints, 0u);
+  EXPECT_GT(rep.timing.max_arrival, 0.0);
+  EXPECT_GT(rep.timing_gp.max_arrival, 0.0);
+  EXPECT_FALSE(rep.timing.critical_path.empty());
+  EXPECT_EQ(rep.timing_reweights, 0u) << "measure-only must not steer";
+
+  // Measurement is an observer: the placement matches the untimed run.
+  Pipe ref("dp_add32");
+  const PlaceReport untimed = ref.run({});
+  EXPECT_DOUBLE_EQ(rep.hpwl_final, untimed.hpwl_final);
+}
+
+TEST(StructurePlacer, TimingDrivenReweightsAndGuards) {
+  Pipe pipe("dp_add32");
+  PlacerConfig c;
+  c.timing.driven = true;
+  const PlaceReport rep = pipe.run(c);
+  EXPECT_TRUE(rep.legality.legal());
+  EXPECT_TRUE(rep.timing_measured);
+  EXPECT_GT(rep.timing_reweights, 0u);
+  // With an auto period the proxy is WNS = 0 by construction; driven
+  // mode should not blow up wirelength while chasing it.
+  Pipe ref("dp_add32");
+  const PlaceReport untimed = ref.run({});
+  EXPECT_LT(rep.hpwl_final, untimed.hpwl_final * 1.1);
+}
+
 TEST(StructurePlacer, PureGlueSaEqualsBaseline) {
   Pipe pipe("glue");
   PlacerConfig base;
